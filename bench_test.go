@@ -1,0 +1,406 @@
+package spin
+
+// Native benchmarks for every table and figure in the paper's evaluation.
+// Each benchmark mirrors one experiment; `go test -bench=. -benchmem`
+// reports nanoseconds on the host machine, confirming the paper's *shapes*
+// (linear scaling in handlers, the inline/no-inline gap, the
+// single-handler bypass, O(n^2) installation) on modern hardware. The
+// calibrated virtual-time reproductions, in the paper's microseconds, come
+// from `go run ./cmd/spinbench` and `go run ./cmd/spindoc`, both built on
+// internal/bench and internal/x11.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"spin/internal/bench"
+	"spin/internal/codegen"
+	"spin/internal/dispatch"
+	"spin/internal/rtti"
+	"spin/internal/vtime"
+	"spin/internal/x11"
+)
+
+var benchMod = rtti.NewModule("RootBench")
+
+func benchSig(args int) rtti.Signature {
+	ts := make([]rtti.Type, args)
+	for i := range ts {
+		ts[i] = rtti.Word
+	}
+	return rtti.Sig(nil, ts...)
+}
+
+func benchArgs(n int) []any {
+	av := make([]any, n)
+	for i := range av {
+		av[i] = uint64(i)
+	}
+	return av
+}
+
+// buildEvent assembles a Table 1 configuration: `handlers` handlers, each
+// with one guard, inline or out-of-line, on an unmetered dispatcher.
+func buildEvent(b *testing.B, args, handlers int, inline bool, opts ...dispatch.Option) *dispatch.Event {
+	b.Helper()
+	d := dispatch.New(append(opts, dispatch.WithCodegenOptions(codegen.Options{DisableBypass: true}))...)
+	ev, err := d.DefineEvent("Bench.Event", benchSig(args))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cell atomic.Uint64
+	for i := 0; i < handlers; i++ {
+		var h dispatch.Handler
+		var g dispatch.Guard
+		if inline {
+			g = dispatch.Guard{Pred: codegen.GlobalEq(&cell, 0)}
+			h = dispatch.Handler{
+				Proc:   &rtti.Proc{Name: "H", Module: benchMod, Sig: benchSig(args)},
+				Inline: codegen.Nop(),
+			}
+		} else {
+			g = dispatch.Guard{
+				Proc: &rtti.Proc{Name: "G", Module: benchMod, Functional: true,
+					Sig: rtti.Sig(rtti.Bool, benchSig(args).Args...)},
+				Fn: func(any, []any) bool { return cell.Load() == 0 },
+			}
+			h = dispatch.Handler{
+				Proc: &rtti.Proc{Name: "H", Module: benchMod, Sig: benchSig(args)},
+				Fn:   func(any, []any) any { return nil },
+			}
+		}
+		if _, err := ev.Install(h, dispatch.WithGuard(g)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ev
+}
+
+// BenchmarkTable1ProcedureCall is Table 1's baseline column: an event with
+// only its intrinsic handler dispatches as a direct call.
+func BenchmarkTable1ProcedureCall(b *testing.B) {
+	for _, args := range []int{0, 1, 5} {
+		b.Run(fmt.Sprintf("args=%d", args), func(b *testing.B) {
+			d := dispatch.New()
+			ev, err := d.DefineEvent("Bench.Proc", benchSig(args),
+				dispatch.WithIntrinsic(dispatch.Handler{
+					Proc: &rtti.Proc{Name: "P", Module: benchMod, Sig: benchSig(args)},
+					Fn:   func(any, []any) any { return nil },
+				}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			av := benchArgs(args)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Raise(av...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Dispatch sweeps the Table 1 grid natively: arguments x
+// handlers x inline/no-inline.
+func BenchmarkTable1Dispatch(b *testing.B) {
+	for _, args := range []int{0, 1, 5} {
+		for _, handlers := range []int{1, 5, 10, 50} {
+			for _, inline := range []bool{false, true} {
+				mode := "noinline"
+				if inline {
+					mode = "inline"
+				}
+				b.Run(fmt.Sprintf("args=%d/handlers=%d/%s", args, handlers, mode), func(b *testing.B) {
+					ev := buildEvent(b, args, handlers, inline)
+					av := benchArgs(args)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := ev.Raise(av...); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkInstall is §3.1 "Installation overhead": each installation
+// regenerates the event's dispatch plan, so cost grows with the number of
+// handlers already present.
+func BenchmarkInstall(b *testing.B) {
+	for _, present := range []int{0, 10, 100} {
+		b.Run(fmt.Sprintf("present=%d", present), func(b *testing.B) {
+			d := dispatch.New()
+			ev, err := d.DefineEvent("Bench.Install", benchSig(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := dispatch.Handler{
+				Proc: &rtti.Proc{Name: "H", Module: benchMod, Sig: benchSig(0)},
+				Fn:   func(any, []any) any { return nil },
+			}
+			for i := 0; i < present; i++ {
+				if _, err := ev.Install(h); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bd, err := ev.Install(h)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				_ = ev.Uninstall(bd)
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkAsyncRaise is the §3.1 asynchronous-event measurement: the
+// latency the raiser observes for a detached raise.
+func BenchmarkAsyncRaise(b *testing.B) {
+	for _, args := range []int{0, 5} {
+		b.Run(fmt.Sprintf("args=%d", args), func(b *testing.B) {
+			done := make(chan struct{}, 4096)
+			d := dispatch.New(dispatch.WithSpawner(func(fn func()) {
+				fn()
+				done <- struct{}{}
+			}))
+			ev, err := d.DefineEvent("Bench.Async", benchSig(args))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, err = ev.Install(dispatch.Handler{
+				Proc: &rtti.Proc{Name: "H", Module: benchMod, Sig: benchSig(args)},
+				Fn:   func(any, []any) any { return nil },
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			av := benchArgs(args)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ev.RaiseAsync(av...); err != nil {
+					b.Fatal(err)
+				}
+				<-done
+			}
+		})
+	}
+}
+
+// BenchmarkSyscallPath is the §3.1 microbenchmark pair: a null system call
+// bound directly versus dispatched through the Table 3 handler population
+// (three handlers, two guards).
+func BenchmarkSyscallPath(b *testing.B) {
+	nullImpl := func(any, []any) any { return nil }
+	b.Run("direct", func(b *testing.B) {
+		d := dispatch.New()
+		ev, _ := d.DefineEvent("Bench.Sys", benchSig(2), dispatch.WithIntrinsic(dispatch.Handler{
+			Proc: &rtti.Proc{Name: "S", Module: benchMod, Sig: benchSig(2)},
+			Fn:   nullImpl,
+		}))
+		av := benchArgs(2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = ev.Raise(av...)
+		}
+	})
+	b.Run("evented", func(b *testing.B) {
+		d := dispatch.New()
+		ev, _ := d.DefineEvent("Bench.Sys", benchSig(2))
+		admit := dispatch.Guard{
+			Proc: &rtti.Proc{Name: "GA", Module: benchMod, Functional: true,
+				Sig: rtti.Sig(rtti.Bool, benchSig(2).Args...)},
+			Fn: func(any, []any) bool { return true },
+		}
+		reject := dispatch.Guard{
+			Proc: &rtti.Proc{Name: "GR", Module: benchMod, Functional: true,
+				Sig: rtti.Sig(rtti.Bool, benchSig(2).Args...)},
+			Fn: func(any, []any) bool { return false },
+		}
+		h := dispatch.Handler{Proc: &rtti.Proc{Name: "S", Module: benchMod, Sig: benchSig(2)}, Fn: nullImpl}
+		_, _ = ev.Install(h, dispatch.WithGuard(admit))
+		_, _ = ev.Install(h, dispatch.WithGuard(reject))
+		_, _ = ev.Install(h)
+		av := benchArgs(2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = ev.Raise(av...)
+		}
+	})
+}
+
+// BenchmarkTable2UDPRoundtrip runs the two-machine UDP echo in virtual
+// time once per iteration; the reported ns/op is harness (simulation)
+// cost, while the virtual roundtrip is reported as a custom metric in the
+// paper's microseconds.
+func BenchmarkTable2UDPRoundtrip(b *testing.B) {
+	for _, guards := range []int{1, 5, 10, 50} {
+		b.Run(fmt.Sprintf("guards=%d", guards), func(b *testing.B) {
+			var lastRT vtime.Duration
+			for i := 0; i < b.N; i++ {
+				rt, err := bench.Table2Roundtrip(guards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastRT = rt
+			}
+			b.ReportMetric(vtime.InMicros(lastRT), "virtual-us/rtt")
+		})
+	}
+}
+
+// BenchmarkTable3Preview runs the full document-preview workload (Table 3
+// and the §3.2 breakdown) once per iteration.
+func BenchmarkTable3Preview(b *testing.B) {
+	var total vtime.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := x11.Run(x11.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = r.Total
+	}
+	b.ReportMetric(float64(total)/1e9, "virtual-s/preview")
+}
+
+// BenchmarkAblationNoBypass quantifies the single-handler bypass (DESIGN.md
+// decision 1): the same intrinsic-only event raised with the bypass
+// enabled and disabled.
+func BenchmarkAblationNoBypass(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "bypass"
+		if disable {
+			name = "no-bypass"
+		}
+		b.Run(name, func(b *testing.B) {
+			d := dispatch.New(dispatch.WithCodegenOptions(codegen.Options{DisableBypass: disable}))
+			ev, _ := d.DefineEvent("Bench.P", benchSig(0), dispatch.WithIntrinsic(dispatch.Handler{
+				Proc: &rtti.Proc{Name: "P", Module: benchMod, Sig: benchSig(0)},
+				Fn:   func(any, []any) any { return nil },
+			}))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _ = ev.Raise()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPeephole quantifies plan simplification (DESIGN.md
+// decision 2's peephole half): fifty constant-true guards either elided at
+// compile time or evaluated on every raise.
+func BenchmarkAblationPeephole(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "peephole"
+		if disable {
+			name = "no-peephole"
+		}
+		b.Run(name, func(b *testing.B) {
+			d := dispatch.New(dispatch.WithCodegenOptions(codegen.Options{
+				DisableBypass: true, DisablePeephole: disable,
+			}))
+			ev, _ := d.DefineEvent("Bench.P", benchSig(0))
+			for i := 0; i < 50; i++ {
+				_, _ = ev.Install(dispatch.Handler{
+					Proc:   &rtti.Proc{Name: "H", Module: benchMod, Sig: benchSig(0)},
+					Inline: codegen.Nop(),
+				}, dispatch.WithGuard(dispatch.Guard{Pred: codegen.And(codegen.True(), codegen.True())}))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _ = ev.Raise()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLockedDispatch quantifies the atomic plan swap
+// (DESIGN.md decision 3) indirectly: raises on the lock-free dispatcher
+// under concurrent installation churn must not collapse.
+func BenchmarkAblationLockedDispatch(b *testing.B) {
+	d := dispatch.New()
+	ev, _ := d.DefineEvent("Bench.P", benchSig(0), dispatch.WithIntrinsic(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "P", Module: benchMod, Sig: benchSig(0)},
+		Fn:   func(any, []any) any { return nil },
+	}))
+	stop := make(chan struct{})
+	go func() {
+		h := dispatch.Handler{
+			Proc: &rtti.Proc{Name: "H", Module: benchMod, Sig: benchSig(0)},
+			Fn:   func(any, []any) any { return nil },
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			bd, err := ev.Install(h)
+			if err == nil {
+				_ = ev.Uninstall(bd)
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Raise(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+}
+
+// BenchmarkGuardEvaluation compares the two guard implementations the
+// generator supports: an inline predicate versus an out-of-line call.
+func BenchmarkGuardEvaluation(b *testing.B) {
+	b.Run("inline-pred", func(b *testing.B) {
+		ev := buildEvent(b, 1, 10, true)
+		av := benchArgs(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = ev.Raise(av...)
+		}
+	})
+	b.Run("outofline-fn", func(b *testing.B) {
+		ev := buildEvent(b, 1, 10, false)
+		av := benchArgs(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = ev.Raise(av...)
+		}
+	})
+}
+
+// BenchmarkTypedOverhead measures the generic facade's cost over the
+// untyped core.
+func BenchmarkTypedOverhead(b *testing.B) {
+	b.Run("typed", func(b *testing.B) {
+		d := NewDispatcher()
+		ev, _ := NewEvent2[uint64, uint64](d, "T.P")
+		_, _ = ev.Install("H", benchMod, func(a, c uint64) {})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = ev.Raise(1, 2)
+		}
+	})
+	b.Run("untyped", func(b *testing.B) {
+		d := NewDispatcher()
+		ev, _ := d.DefineEvent("T.P", benchSig(2))
+		_, _ = ev.Install(dispatch.Handler{
+			Proc: &rtti.Proc{Name: "H", Module: benchMod, Sig: benchSig(2)},
+			Fn:   func(any, []any) any { return nil },
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = ev.Raise(uint64(1), uint64(2))
+		}
+	})
+}

@@ -1,0 +1,186 @@
+// Command spinbench regenerates the microbenchmark tables of "Dynamic
+// Binding for an Extensible System" (OSDI '96) from the virtual-time
+// simulation:
+//
+//	spinbench -table 1        Table 1: dispatch latency grid
+//	spinbench -table 2        Table 2: UDP roundtrip vs. guards
+//	spinbench -table install  §3.1 installation overhead
+//	spinbench -table async    §3.1 asynchronous event overhead
+//	spinbench -table micro    §3.1 syscall/thread event overhead
+//	spinbench -table all      everything
+//	spinbench -disasm         dispatch plan disassembly tour
+//
+// All simulated figures are in the paper's units (microseconds on a DEC
+// Alpha AXP 3000/400); the paper's own numbers print alongside.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"spin/internal/bench"
+	"spin/internal/codegen"
+	"spin/internal/vtime"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, tree, install, async, micro, all")
+	disasm := flag.Bool("disasm", false, "show dispatch plan disassembly for representative events")
+	flag.Parse()
+
+	if *disasm {
+		showDisasm()
+		return
+	}
+	run := func(name string, fn func() error) {
+		if *table != "all" && *table != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "spinbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	run("1", table1)
+	run("2", table2)
+	run("tree", table2Tree)
+	run("install", installOverhead)
+	run("async", asyncOverhead)
+	run("micro", micro)
+}
+
+func table1() error {
+	r, err := bench.Table1()
+	if err != nil {
+		return err
+	}
+	paperNoInline := map[[2]int]float64{
+		{0, 1}: 0.37, {0, 5}: 1.18, {0, 10}: 2.15, {0, 50}: 11.69,
+		{1, 1}: 0.39, {1, 5}: 1.25, {1, 10}: 2.32, {1, 50}: 11.51,
+		{5, 1}: 0.97, {5, 5}: 1.61, {5, 10}: 2.88, {5, 50}: 14.45,
+	}
+	paperInline := map[[2]int]float64{
+		{0, 1}: 0.23, {0, 5}: 0.41, {0, 10}: 0.63, {0, 50}: 2.48,
+		{1, 1}: 0.24, {1, 5}: 0.45, {1, 10}: 0.72, {1, 50}: 2.87,
+		{5, 1}: 0.42, {5, 5}: 1.55, {5, 10}: 1.32, {5, 50}: 5.65,
+	}
+	paperProc := map[int]float64{0: 0.10, 1: 0.13, 5: 0.14}
+
+	fmt.Println("Table 1: event dispatch overhead (us); measured [paper]")
+	fmt.Printf("%-6s %-16s", "args", "procedure call")
+	for _, h := range r.Handlers {
+		fmt.Printf(" %-13s %-13s", fmt.Sprintf("%dh no-inline", h), fmt.Sprintf("%dh inline", h))
+	}
+	fmt.Println()
+	for _, a := range r.Args {
+		fmt.Printf("%-6d %5.2f [%4.2f]    ", a, r.ProcCall[a], paperProc[a])
+		for _, h := range r.Handlers {
+			k := [2]int{a, h}
+			fmt.Printf(" %5.2f [%5.2f] %5.2f [%5.2f]",
+				r.NoInline[k], paperNoInline[k], r.Inline[k], paperInline[k])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+func table2() error {
+	fmt.Println("Table 2: UDP roundtrip vs. guards on the packet event (us); measured [paper]")
+	paper := map[int]float64{1: 475, 5: 481, 10: 487, 50: 530}
+	for _, guards := range []int{1, 5, 10, 50} {
+		rt, err := bench.Table2Roundtrip(guards)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %2d guards: %6.1f [%4.0f]\n", guards, vtime.InMicros(rt), paper[guards])
+	}
+	fmt.Println()
+	return nil
+}
+
+func table2Tree() error {
+	fmt.Println("Table 2 under the guard decision tree (the paper's §3.2 future work):")
+	fmt.Println("  inline ArgEq port guards + codegen.EnableDecisionTree; linear scan alongside")
+	for _, guards := range []int{1, 5, 10, 50} {
+		opt, err := bench.Table2RoundtripOptimized(guards)
+		if err != nil {
+			return err
+		}
+		lin, err := bench.Table2Roundtrip(guards)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %2d guards: tree %6.1f us | linear %6.1f us\n",
+			guards, vtime.InMicros(opt), vtime.InMicros(lin))
+	}
+	fmt.Println()
+	return nil
+}
+
+func installOverhead() error {
+	first, total, err := bench.InstallOverhead(100)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Installation overhead (§3.1); measured [paper]")
+	fmt.Printf("  one handler:        %6.1f us [~150 us]\n", vtime.InMicros(first))
+	fmt.Printf("  100 on one event:   %6.1f ms [~30 ms] (O(n^2) total)\n",
+		vtime.InMicros(total)/1000)
+	fmt.Println()
+	return nil
+}
+
+func asyncOverhead() error {
+	fmt.Println("Asynchronous raise overhead (§3.1); paper band 38-90 us")
+	for _, args := range []int{0, 1, 5} {
+		d, err := bench.AsyncOverhead(args)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %d args: %5.1f us\n", args, vtime.InMicros(d))
+	}
+	fmt.Println()
+	return nil
+}
+
+func micro() error {
+	m, err := bench.Micro()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Event overhead on basic services (§3.1); paper band 10-15%")
+	fmt.Printf("  null syscall:   direct %6.2f us, evented %6.2f us -> %4.1f%%\n",
+		vtime.InMicros(m.SyscallDirect), vtime.InMicros(m.SyscallEvented), m.SyscallOverheadPct())
+	fmt.Printf("  thread switch:  direct %6.2f us, evented %6.2f us -> %4.1f%%\n",
+		vtime.InMicros(m.ThreadDirect), vtime.InMicros(m.ThreadEvented), m.ThreadOverheadPct())
+	fmt.Println()
+	return nil
+}
+
+// showDisasm prints the generated dispatch plan for three representative
+// configurations, the analog of dumping the runtime-generated stubs.
+func showDisasm() {
+	var cell atomic.Uint64
+	mk := func(bindings []*codegen.Binding, opts codegen.Options) {
+		p := codegen.Compile(codegen.EventInfo{Name: "Demo.Event", Arity: 1},
+			bindings, nil, nil, opts)
+		fmt.Println(p.Disassemble())
+	}
+	fmt.Println("-- intrinsic only: bypassed entirely --")
+	mk([]*codegen.Binding{{Fn: func(any, []any) any { return nil }}}, codegen.Options{})
+	fmt.Println("-- guarded handlers, fully inlined --")
+	mk([]*codegen.Binding{
+		{Guards: []codegen.Guard{{Pred: codegen.GlobalEq(&cell, 0)}}, Inline: codegen.Nop()},
+		{Guards: []codegen.Guard{{Pred: codegen.ArgEq(0, 80)}}, Inline: codegen.AddWord(&cell, 1)},
+	}, codegen.Options{})
+	fmt.Println("-- mixed out-of-line with peephole dead-code elimination --")
+	mk([]*codegen.Binding{
+		{Guards: []codegen.Guard{{Pred: codegen.And(codegen.True(), codegen.ArgEq(0, 7))}},
+			Fn: func(any, []any) any { return nil }},
+		{Guards: []codegen.Guard{{Pred: codegen.False()}}, Fn: func(any, []any) any { return nil }},
+		{Fn: func(any, []any) any { return nil }, Async: true},
+	}, codegen.Options{})
+}

@@ -1,0 +1,48 @@
+// Command spindoc runs the paper's end-to-end document-preview workload
+// (§3.2 "Application performance"): an X11 server on the simulated SPIN
+// machine displaying PostScript page images shipped over TCP from a
+// machine running ghostview. It regenerates Table 3 (major events raised)
+// and the total/idle/X11/kernel/events time breakdown.
+//
+//	spindoc              run with the calibrated parameters
+//	spindoc -pages 24    preview a longer document
+//	spindoc -breakdown   print only the time breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spin/internal/vtime"
+	"spin/internal/x11"
+)
+
+func main() {
+	pages := flag.Int("pages", 0, "number of pages to preview (0 = calibrated default)")
+	pageKB := flag.Int("pagekb", 0, "page image size in KB (0 = calibrated default)")
+	breakdownOnly := flag.Bool("breakdown", false, "print only the time breakdown")
+	flag.Parse()
+
+	params := x11.Params{Pages: *pages, PageBytes: *pageKB * 1024}
+	r, err := x11.Run(params)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spindoc: %v\n", err)
+		os.Exit(1)
+	}
+
+	if !*breakdownOnly {
+		fmt.Println("Table 3: major events raised while previewing a document")
+		fmt.Println("(paper: Ether 2536, Ip 2529, Udp 24, Tcp 2505, OsfNet 3/3,")
+		fmt.Println(" Syscall 3976, Strand.Run 7936, EventNotify 595)")
+		fmt.Println()
+		fmt.Print(r)
+	} else {
+		sec := func(d vtime.Duration) float64 { return float64(d) / 1e9 }
+		fmt.Printf("total %.2fs: idle %.2fs, X11 %.2fs, kernel %.2fs, events %.3fs\n",
+			sec(r.Total), sec(r.Idle), sec(r.User), sec(r.Kernel), sec(r.Events))
+	}
+	fmt.Printf("\npages shown: %d, bytes received: %d, traced syscalls: %d\n",
+		r.PagesShown, r.BytesReceived, r.TracedSyscalls)
+	fmt.Println("(paper breakdown: 23.5s total; 12.52s idle, 4.2s X11, 6.8s kernel, 0.12s events)")
+}

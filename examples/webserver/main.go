@@ -1,0 +1,172 @@
+// Webserver: the SPIN project served its home page from "an Alpha
+// workstation running SPIN with a WEB server extension" (paper §4). This
+// example boots that scenario in simulation: a machine running the web
+// server extension over the netstack and fs substrates, a second machine
+// fetching pages — and, because request handling is itself an event
+// (Httpd.Request), three more extensions compose onto the running server
+// without it knowing: a legacy-URL filter, a dynamic /stats route behind a
+// guard, and an access logger.
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"spin/internal/dispatch"
+	"spin/internal/fs"
+	"spin/internal/httpd"
+	"spin/internal/kernel"
+	"spin/internal/netstack"
+	"spin/internal/netwire"
+	"spin/internal/rtti"
+	"spin/internal/sched"
+	"spin/internal/vtime"
+)
+
+func main() {
+	// Boot the server machine and a client machine on one wire.
+	a, err := kernel.Boot(kernel.Config{Name: "spin", Metered: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := kernel.Boot(kernel.Config{Name: "browser", ShareWith: a})
+	if err != nil {
+		log.Fatal(err)
+	}
+	link := netwire.NewLink(a.Sim, 0, 0)
+	nicA, _ := link.Attach("mac-a")
+	nicB, _ := link.Attach("mac-b")
+	arp := map[string]string{"10.0.0.1": "mac-a", "10.0.0.2": "mac-b"}
+	sa, err := netstack.New(netstack.Config{Dispatcher: a.Dispatcher, CPU: a.CPU,
+		Sched: a.Sched, NIC: nicA, IP: "10.0.0.1", ARP: arp})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sb, err := netstack.New(netstack.Config{Dispatcher: b.Dispatcher, CPU: b.CPU,
+		Sched: b.Sched, NIC: nicB, IP: "10.0.0.2", ARP: arp, Prefix: "B:"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The document tree.
+	fsA, err := fs.New(a.Dispatcher, a.CPU, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fsA.Put("/www/index.html", []byte("<h1>The SPIN Project</h1>"))
+	fsA.Put("/www/papers/events.ps", []byte("%!PS Dynamic Binding for an Extensible System"))
+
+	// The web server extension.
+	srv, err := httpd.New(a.Dispatcher, httpd.Config{Stack: sa, FS: fsA, Sched: a.Sched})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Extension 1: legacy-URL filter — uppercase 1994-era links keep
+	// working. A filter rewrites the path argument before the intrinsic
+	// file server sees it.
+	fsig := rtti.Signature{Args: []rtti.Type{rtti.Text},
+		ByRef: []bool{true}, Result: httpd.ResponseType}
+	_, err = srv.Request.Install(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Legacy.Rewrite", Module: rtti.NewModule("Legacy"), Sig: fsig},
+		Fn: func(clo any, args []any) any {
+			if p, ok := args[0].(string); ok {
+				args[0] = strings.ToLower(p)
+			}
+			return nil
+		},
+	}, dispatch.AsFilter(), dispatch.First())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Extension 2: a dynamic /stats route behind a guard.
+	sig := srv.Request.Signature()
+	_, err = srv.Request.Install(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Stats.Serve", Module: rtti.NewModule("Stats"), Sig: sig},
+		Fn: func(clo any, args []any) any {
+			body := fmt.Sprintf("served=%d notfound=%d uptime=%v\n",
+				srv.Served, srv.NotFound, vtime.Duration(a.Clock.Now()))
+			return &httpd.Response{Status: 200, Body: []byte(body)}
+		},
+	}, dispatch.WithGuard(httpd.RouteGuard("/stats")))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Extension 3: an access logger, ordered last, contributing no
+	// response. With several result-producing handlers on the event, a
+	// result handler arbitrates: first 200 wins, nils ignored.
+	var accessLog []string
+	_, err = srv.Request.Install(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Log.Access", Module: rtti.NewModule("Log"), Sig: sig},
+		Fn: func(clo any, args []any) any {
+			accessLog = append(accessLog, args[0].(string))
+			return (*httpd.Response)(nil)
+		},
+	}, dispatch.Last())
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = srv.Request.SetResultHandler(func(acc, res any, i int) any {
+		if a, ok := acc.(*httpd.Response); ok && a != nil && a.Status == 200 {
+			return a
+		}
+		if b, ok := res.(*httpd.Response); ok && b != nil {
+			if a, ok := acc.(*httpd.Response); !ok || a == nil || b.Status == 200 {
+				return b
+			}
+		}
+		return acc
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The browser machine fetches four URLs over simulated TCP.
+	paths := []string{"/", "/PAPERS/EVENTS.PS", "/stats", "/missing"}
+	client, err := httpd.NewClient(sb, "10.0.0.1", 80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sent := false
+	b.Sched.Spawn("browser", 0, func(st *sched.Strand) sched.Status {
+		if !client.Conn().Established() {
+			client.Conn().AwaitEstablished(st)
+			return sched.Block
+		}
+		if !sent {
+			sent = true
+			for _, p := range paths {
+				_ = client.Get(p)
+			}
+		}
+		client.Pump()
+		if len(client.Responses) >= len(paths) {
+			_ = client.Conn().Close()
+			return sched.Done
+		}
+		client.Conn().AwaitData(st)
+		return sched.Block
+	})
+	a.Sim.Run(0)
+
+	fmt.Println("-- responses over the simulated wire --")
+	for i, r := range client.Responses {
+		body := strings.TrimSpace(string(r.Body))
+		if len(body) > 48 {
+			body = body[:48] + "..."
+		}
+		fmt.Printf("GET %-20s -> %d %s\n", paths[i], r.Status, body)
+	}
+	fmt.Println("\naccess log:", accessLog)
+	fmt.Printf("server counters: served=%d notfound=%d badreqs=%d\n",
+		srv.Served, srv.NotFound, srv.BadReqs)
+	st := srv.Request.Stats()
+	fmt.Printf("Httpd.Request event: raised=%d handlers=%d guards=%d\n",
+		st.Raised, st.Handlers, st.Guards)
+	fmt.Printf("virtual time elapsed: %v\n", vtime.Duration(a.Clock.Now()))
+}

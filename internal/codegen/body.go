@@ -1,0 +1,89 @@
+package codegen
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// BodyOp enumerates the handler bodies the code generator can inline. SPIN
+// inlined "small guards and handlers directly into the dispatch routine"
+// (§3); the realistic small handlers are counters, constant results, and
+// argument echoes, which is exactly the set Table 1's benchmark handlers
+// ("return without performing any work") draws from.
+type BodyOp int
+
+const (
+	// BodyNop does nothing and produces no result.
+	BodyNop BodyOp = iota
+	// BodyReturnConst produces the constant V.
+	BodyReturnConst
+	// BodyAddWord adds K to the word in Cell and produces no result.
+	BodyAddWord
+	// BodyReturnArg produces raise argument Arg.
+	BodyReturnArg
+)
+
+// Body is an inlinable handler body: a handler registered with a non-nil
+// Body executes inside the generated dispatch routine without an indirect
+// call when the plan is compiled with inlining enabled.
+type Body struct {
+	Op   BodyOp
+	V    any
+	Cell *atomic.Uint64
+	K    uint64
+	Arg  int
+}
+
+// Nop returns the empty body.
+func Nop() *Body { return &Body{Op: BodyNop} }
+
+// ReturnConst returns a body producing v.
+func ReturnConst(v any) *Body { return &Body{Op: BodyReturnConst, V: v} }
+
+// AddWord returns a body adding k to cell.
+func AddWord(cell *atomic.Uint64, k uint64) *Body {
+	return &Body{Op: BodyAddWord, Cell: cell, K: k}
+}
+
+// ReturnArg returns a body producing raise argument i.
+func ReturnArg(i int) *Body { return &Body{Op: BodyReturnArg, Arg: i} }
+
+// Run executes the body over the raise arguments, returning the produced
+// result (nil for void bodies).
+func (b *Body) Run(args []any) any {
+	switch b.Op {
+	case BodyNop:
+		return nil
+	case BodyReturnConst:
+		return b.V
+	case BodyAddWord:
+		if b.Cell != nil {
+			b.Cell.Add(b.K)
+		}
+		return nil
+	case BodyReturnArg:
+		if b.Arg >= 0 && b.Arg < len(args) {
+			return args[b.Arg]
+		}
+		return nil
+	}
+	return nil
+}
+
+// String renders the body for plan disassembly.
+func (b *Body) String() string {
+	if b == nil {
+		return "<call>"
+	}
+	switch b.Op {
+	case BodyNop:
+		return "nop"
+	case BodyReturnConst:
+		return fmt.Sprintf("return %v", b.V)
+	case BodyAddWord:
+		return fmt.Sprintf("*cell += %d", b.K)
+	case BodyReturnArg:
+		return fmt.Sprintf("return arg%d", b.Arg)
+	}
+	return "body(?)"
+}

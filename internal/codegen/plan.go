@@ -1,0 +1,521 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"spin/internal/vtime"
+)
+
+// GuardFn is the out-of-line guard calling convention: closure (nil when
+// none was supplied at installation) plus the raise arguments.
+type GuardFn func(closure any, args []any) bool
+
+// HandlerFn is the out-of-line handler calling convention. Void handlers
+// return nil.
+type HandlerFn func(closure any, args []any) any
+
+// ResultFn folds handler results: it is called separately for each result
+// produced during a raise, receiving the accumulator (nil initially), the
+// new result, and the zero-based index of the result (paper §2.3 "Handling
+// results").
+type ResultFn func(acc any, result any, index int) any
+
+// Guard pairs an evaluable guard with its installation closure. A non-nil
+// Pred marks the guard as inlinable: the generator evaluates it inside the
+// dispatch routine. Otherwise Fn is called indirectly.
+type Guard struct {
+	Fn      GuardFn
+	Closure any
+	Pred    *Pred
+}
+
+// Binding is the code generator's view of one installed handler: its guard
+// list (installer guards followed by authorizer-imposed guards), the
+// handler itself, and the execution properties that shape the generated
+// code.
+type Binding struct {
+	Guards  []Guard
+	Fn      HandlerFn
+	Closure any
+	// Inline, when non-nil, lets the generator inline the handler body.
+	Inline *Body
+	// Async handlers execute on a separate thread of control via
+	// Env.Spawn; their results are not returned to the raiser.
+	Async bool
+	// Ephemeral handlers run under Env.RunEphemeral, which may terminate
+	// them (paper §2.6 "Runaway handlers").
+	Ephemeral bool
+	// Filter marks a handler that takes parameters by reference and may
+	// rewrite them for subsequent handlers and guards.
+	Filter bool
+	// Tag is an opaque back-pointer for the dispatcher (statistics,
+	// termination reporting). The generator never inspects it.
+	Tag any
+}
+
+// fullyInline reports whether the generator can execute the binding without
+// any indirect call.
+func (b *Binding) fullyInline() bool {
+	if b.Inline == nil || b.Async || b.Ephemeral {
+		return false
+	}
+	for _, g := range b.Guards {
+		if g.Pred == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// EventInfo carries the event attributes the generator specializes on.
+type EventInfo struct {
+	Name      string
+	Arity     int
+	HasResult bool
+}
+
+// Options disable individual generator optimizations, for the ablation
+// benchmarks. The zero value enables everything SPIN's generator did,
+// and nothing it did not.
+type Options struct {
+	// DisableInline forces every guard and handler out of line, the
+	// "no inline" configuration of Table 1.
+	DisableInline bool
+	// DisableBypass keeps the dispatch routine in place even for a
+	// single unguarded synchronous binding.
+	DisableBypass bool
+	// DisablePeephole skips plan simplification.
+	DisablePeephole bool
+	// EnableDecisionTree turns on the guard decision-tree optimization
+	// the paper names as future work (§3.2): consecutive bindings whose
+	// only guard is an ArgEq predicate on the same argument dispatch
+	// through a hash on the argument word instead of a linear guard
+	// scan. Off by default, matching the measured system; see tree.go.
+	EnableDecisionTree bool
+	// IncrementalInstall switches handler installation from full plan
+	// regeneration (cost linear in the bindings present; O(n^2) for n
+	// installs, §3.1) to an incremental append (constant cost per
+	// install) — the "more incremental (and economical) approach to
+	// installation" the paper anticipates needing. The generated plan
+	// is identical; only the installation cost model changes.
+	IncrementalInstall bool
+}
+
+// step is one unrolled dispatch step.
+type step struct {
+	guards []Guard
+	b      *Binding
+	inline bool // binding executes fully inline
+}
+
+// Plan is an immutable compiled dispatch routine. The dispatcher publishes
+// a new plan with a single atomic pointer store on every installation or
+// removal, so raises in flight keep executing the old plan — the paper's
+// "handler lists are updated atomically with respect to event dispatch by
+// using a single memory access".
+type Plan struct {
+	info      EventInfo
+	opts      Options
+	steps     []step
+	units     []unit
+	direct    *Binding // non-nil: single-binding bypass, dispatcher skipped
+	resultFn  ResultFn
+	defaultB  *Binding
+	allInline bool
+	hasFilter bool
+	// Bindings is the number of live bindings compiled into the plan,
+	// used by the dispatcher to charge the O(n) regeneration cost.
+	Bindings int
+}
+
+// Env supplies the execution hooks the generated routine needs from the
+// dispatcher: a CPU meter (nil when unmetered), a spawner for asynchronous
+// handlers, an ephemeral supervisor, and a statistics callback.
+type Env struct {
+	CPU *vtime.CPU
+	// Spawn runs fn on a separate thread of control; arity is the number
+	// of arguments that must be copied to the new thread (it determines
+	// the spawn cost). Required if any binding is Async.
+	Spawn func(arity int, fn func())
+	// RunEphemeral runs invoke under termination supervision, returning
+	// its result and whether it ran to completion. Required if any
+	// binding is Ephemeral.
+	RunEphemeral func(tag any, invoke func() any) (any, bool)
+	// OnFire, if non-nil, is called with the binding tag each time a
+	// handler fires (including default handlers).
+	OnFire func(tag any)
+}
+
+// Outcome reports what a raise did.
+type Outcome struct {
+	// Result is the merged result (meaningful only when the event has a
+	// result and Fired > 0 or UsedDefault).
+	Result any
+	// Fired counts handlers that ran, excluding the default handler.
+	Fired int
+	// Ambiguous is set when multiple handlers produced results but no
+	// result handler was installed to merge them; Result then holds the
+	// last result, and the dispatcher surfaces an error.
+	Ambiguous bool
+	// UsedDefault is set when no handler fired and the default handler
+	// supplied the result.
+	UsedDefault bool
+}
+
+// Compile generates the dispatch routine for the given binding list. The
+// returned plan is immutable; the dispatcher swaps it in atomically.
+func Compile(info EventInfo, bindings []*Binding, resultFn ResultFn, defaultB *Binding, opts Options) *Plan {
+	p := &Plan{info: info, opts: opts, resultFn: resultFn, defaultB: defaultB}
+	for _, b := range bindings {
+		st, live := compileBinding(b, opts)
+		if !live {
+			continue
+		}
+		p.steps = append(p.steps, st)
+		p.Bindings++
+		if b.Filter {
+			p.hasFilter = true
+		}
+	}
+	p.allInline = !opts.DisableInline && len(p.steps) > 0
+	for _, st := range p.steps {
+		if !st.inline {
+			p.allInline = false
+		}
+	}
+	// Single-binding bypass: one live synchronous unguarded non-filter
+	// binding dispatches as a direct procedure call (Figure 1's "an event
+	// with only an intrinsic handler is identical to a procedure call").
+	if !opts.DisableBypass && len(p.steps) == 1 && defaultB == nil && resultFn == nil {
+		st := p.steps[0]
+		if len(st.guards) == 0 && !st.b.Async && !st.b.Ephemeral && !st.b.Filter {
+			p.direct = st.b
+		}
+	}
+	p.units = buildUnits(p.steps, opts.EnableDecisionTree)
+	return p
+}
+
+// TreeUnits reports the number of decision-tree units in the plan and the
+// total bindings they cover (for tests and disassembly).
+func (p *Plan) TreeUnits() (units, covered int) {
+	for _, u := range p.units {
+		if u.single == nil {
+			units++
+			covered += u.treeSize
+		}
+	}
+	return units, covered
+}
+
+// compileBinding simplifies one binding's guard list. The second result is
+// false when peephole proved the binding can never fire.
+func compileBinding(b *Binding, opts Options) (step, bool) {
+	st := step{b: b}
+	for _, g := range b.Guards {
+		if g.Pred != nil && !opts.DisablePeephole {
+			s := g.Pred.Simplify()
+			switch s.Op {
+			case PredTrue:
+				continue // elide constant-true guard
+			case PredFalse:
+				return step{}, false // dead binding
+			}
+			g = Guard{Pred: s}
+		}
+		st.guards = append(st.guards, g)
+	}
+	if !opts.DisablePeephole {
+		st.guards = reorderGuards(st.guards)
+	}
+	st.inline = !opts.DisableInline && (&Binding{
+		Guards: st.guards, Inline: b.Inline,
+		Async: b.Async, Ephemeral: b.Ephemeral,
+	}).fullyInline()
+	return st, true
+}
+
+// reorderGuards moves inline predicates ahead of out-of-line guards,
+// preserving relative order within each class (a stable partition). §2.3:
+// guards are FUNCTIONAL, which "allows the dispatcher to reorder or
+// short-circuit guard execution entirely in order to improve performance"
+// — a cheap failing predicate now spares the indirect calls behind it.
+func reorderGuards(gs []Guard) []Guard {
+	if len(gs) < 2 {
+		return gs
+	}
+	out := make([]Guard, 0, len(gs))
+	for _, g := range gs {
+		if g.Pred != nil {
+			out = append(out, g)
+		}
+	}
+	cheap := len(out)
+	for _, g := range gs {
+		if g.Pred == nil {
+			out = append(out, g)
+		}
+	}
+	if cheap == 0 || cheap == len(out) {
+		return gs // single class: keep the original slice
+	}
+	return out
+}
+
+// Direct returns the bypass binding, or nil when the event dispatches
+// through the generated routine. The dispatcher uses it to skip plan
+// execution entirely.
+func (p *Plan) Direct() *Binding { return p.direct }
+
+// Steps reports the number of live dispatch steps (for tests and
+// disassembly).
+func (p *Plan) Steps() int { return len(p.steps) }
+
+// FullyInline reports whether the whole plan executes without indirect
+// calls.
+func (p *Plan) FullyInline() bool { return p.allInline }
+
+// Execute runs the generated dispatch routine. args is the dispatcher's
+// private per-raise argument vector: filters mutate it in place, which is
+// visible to subsequent steps but never to the raiser.
+func (p *Plan) Execute(env *Env, args []any) Outcome {
+	cpu := env.CPU
+	if p.direct != nil {
+		cpu.Charge(vtime.CallDirect)
+		cpu.ChargeN(vtime.CallDirectArg, p.info.Arity)
+		b := p.direct
+		var res any
+		if b.Inline != nil && !p.opts.DisableInline {
+			res = b.Inline.Run(args)
+		} else {
+			res = b.Fn(b.Closure, args)
+		}
+		if env.OnFire != nil {
+			env.OnFire(b.Tag)
+		}
+		return Outcome{Result: res, Fired: 1}
+	}
+
+	if p.allInline {
+		cpu.Charge(vtime.InlineEntry)
+		cpu.ChargeN(vtime.ArgCopy, p.info.Arity)
+	} else {
+		cpu.Charge(vtime.DispatchEntry)
+		cpu.ChargeN(vtime.DispatchEntryArg, p.info.Arity)
+	}
+	if p.hasFilter {
+		// Snapshot cost for preserving the raiser's view of arguments
+		// ahead of the first filter (§2.4 Typechecking).
+		cpu.ChargeN(vtime.ArgCopy, p.info.Arity)
+	}
+
+	var out Outcome
+	var haveResult bool
+	// execStep runs one step whose guards have already passed.
+	execStep := func(st *step) {
+		b := st.b
+		if b.Filter {
+			// Filters transform arguments for downstream handlers;
+			// they neither produce results nor count as the event
+			// having been handled (§2.3 "Passing arguments").
+			p.chargeHandler(cpu, st)
+			_ = p.invoker(st, args)()
+			if env.OnFire != nil {
+				env.OnFire(b.Tag)
+			}
+			return
+		}
+		if b.Async {
+			p.chargeHandler(cpu, st)
+			inv := p.invoker(st, args)
+			env.Spawn(p.info.Arity, func() { _ = inv() })
+			out.Fired++
+			if env.OnFire != nil {
+				env.OnFire(b.Tag)
+			}
+			return
+		}
+		var res any
+		completed := true
+		if b.Ephemeral {
+			p.chargeHandler(cpu, st)
+			res, completed = env.RunEphemeral(b.Tag, p.invoker(st, args))
+		} else {
+			p.chargeHandler(cpu, st)
+			res = p.invoker(st, args)()
+		}
+		out.Fired++
+		if env.OnFire != nil {
+			env.OnFire(b.Tag)
+		}
+		if !p.info.HasResult || !completed {
+			return
+		}
+		if p.resultFn != nil {
+			cpu.Charge(vtime.ResultMerge)
+			out.Result = p.resultFn(out.Result, res, out.Fired-1)
+		} else {
+			if haveResult {
+				out.Ambiguous = true
+			}
+			out.Result = res
+			haveResult = true
+		}
+	}
+
+	for i := range p.units {
+		u := &p.units[i]
+		if u.single != nil {
+			if !p.evalGuards(cpu, u.single, args) {
+				continue
+			}
+			execStep(u.single)
+			continue
+		}
+		// Decision tree: one inline comparison-equivalent lookup
+		// replaces the whole run's guard evaluations (§3.2 future
+		// work; see tree.go).
+		cpu.Charge(vtime.GuardInline)
+		w, ok := argWord(args, u.treeArg)
+		if !ok {
+			continue
+		}
+		branch := u.branches[w]
+		for j := range branch {
+			execStep(&branch[j])
+		}
+	}
+
+	if out.Fired == 0 && p.defaultB != nil {
+		b := p.defaultB
+		cpu.Charge(vtime.HandlerIndirect)
+		var res any
+		if b.Inline != nil && !p.opts.DisableInline {
+			res = b.Inline.Run(args)
+		} else {
+			res = b.Fn(b.Closure, args)
+		}
+		if env.OnFire != nil {
+			env.OnFire(b.Tag)
+		}
+		out.Result = res
+		out.UsedDefault = true
+	}
+	return out
+}
+
+// evalGuards evaluates one step's guard list, charging per the generated
+// configuration.
+func (p *Plan) evalGuards(cpu *vtime.CPU, st *step, args []any) bool {
+	for i := range st.guards {
+		g := &st.guards[i]
+		if g.Pred != nil && !p.opts.DisableInline {
+			cpu.Charge(vtime.GuardInline)
+			if !g.Pred.Eval(args) {
+				return false
+			}
+			continue
+		}
+		cpu.Charge(vtime.GuardIndirect)
+		var pass bool
+		if g.Pred != nil {
+			// Inlining disabled: the generator emitted an
+			// out-of-line call to the predicate.
+			pass = g.Pred.Eval(args)
+		} else {
+			pass = g.Fn(g.Closure, args)
+		}
+		if !pass {
+			return false
+		}
+	}
+	return true
+}
+
+// chargeHandler charges the handler-invocation cost for one step.
+func (p *Plan) chargeHandler(cpu *vtime.CPU, st *step) {
+	if st.inline {
+		cpu.Charge(vtime.HandlerInline)
+		cpu.ChargeN(vtime.BindingInlineArg, p.info.Arity)
+	} else {
+		cpu.Charge(vtime.HandlerIndirect)
+		cpu.ChargeN(vtime.BindingIndirectArg, p.info.Arity)
+	}
+}
+
+// invoker returns the handler invocation closure for a step — the "direct
+// procedure call" the unrolled routine makes.
+func (p *Plan) invoker(st *step, args []any) func() any {
+	b := st.b
+	if st.inline {
+		return func() any { return b.Inline.Run(args) }
+	}
+	return func() any { return b.Fn(b.Closure, args) }
+}
+
+// Disassemble renders the plan as pseudo-code, the analog of dumping the
+// generated stub. Used by tests and the spinbench -disasm flag.
+func (p *Plan) Disassemble() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan %s/%d", p.info.Name, p.info.Arity)
+	if p.info.HasResult {
+		sb.WriteString(" -> result")
+	}
+	sb.WriteByte('\n')
+	if p.direct != nil {
+		sb.WriteString("  direct call (dispatcher bypassed)\n")
+		return sb.String()
+	}
+	writeStep := func(indent string, i int, st *step) {
+		fmt.Fprintf(&sb, "%sstep %d:", indent, i)
+		if st.inline {
+			sb.WriteString(" [inline]")
+		}
+		for _, g := range st.guards {
+			if g.Pred != nil {
+				fmt.Fprintf(&sb, " if %s", g.Pred)
+			} else {
+				sb.WriteString(" if <call guard>")
+			}
+		}
+		fmt.Fprintf(&sb, " do %s", st.b.Inline)
+		if st.b.Async {
+			sb.WriteString(" async")
+		}
+		if st.b.Ephemeral {
+			sb.WriteString(" ephemeral")
+		}
+		if st.b.Filter {
+			sb.WriteString(" filter")
+		}
+		sb.WriteByte('\n')
+	}
+	n := 0
+	for i := range p.units {
+		u := &p.units[i]
+		if u.single != nil {
+			writeStep("  ", n, u.single)
+			n++
+			continue
+		}
+		fmt.Fprintf(&sb, "  switch arg%d { // decision tree over %d bindings\n",
+			u.treeArg, u.treeSize)
+		for k := range u.branches {
+			fmt.Fprintf(&sb, "  case %d:\n", k)
+			branch := u.branches[k]
+			for j := range branch {
+				writeStep("    ", n, &branch[j])
+				n++
+			}
+		}
+		sb.WriteString("  }\n")
+	}
+	if p.defaultB != nil {
+		sb.WriteString("  default handler installed\n")
+	}
+	if p.resultFn != nil {
+		sb.WriteString("  result handler installed\n")
+	}
+	return sb.String()
+}

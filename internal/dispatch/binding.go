@@ -1,0 +1,245 @@
+package dispatch
+
+import (
+	"sync/atomic"
+	"time"
+
+	"spin/internal/codegen"
+	"spin/internal/rtti"
+)
+
+// HandlerFn is the handler calling convention: the installation closure
+// (nil when none) and the raise arguments. Void handlers return nil.
+type HandlerFn = codegen.HandlerFn
+
+// GuardFn is the guard calling convention; guards must be side-effect free.
+type GuardFn = codegen.GuardFn
+
+// ResultFn folds handler results, called separately for each result
+// produced during a raise (§2.3 "Handling results").
+type ResultFn = codegen.ResultFn
+
+// Handler describes a procedure offered as an event handler: its rtti
+// descriptor (signature, module, attributes), its implementation, and an
+// optional inlinable body for the code generator.
+type Handler struct {
+	// Proc is the procedure descriptor used for installation-time
+	// typechecking and authority decisions. Required.
+	Proc *rtti.Proc
+	// Fn is the out-of-line implementation. Required unless Inline is
+	// set.
+	Fn HandlerFn
+	// Inline, when non-nil, allows the code generator to inline the
+	// handler body into the dispatch routine.
+	Inline *codegen.Body
+}
+
+// Guard pairs a predicate with its descriptor. Exactly one of Pred and Fn
+// drives evaluation: a Pred is declaratively FUNCTIONAL and inlinable; an
+// Fn is opaque and must carry a FUNCTIONAL Proc descriptor.
+type Guard struct {
+	// Proc describes an out-of-line guard; it must be FUNCTIONAL with a
+	// BOOLEAN result (§2.3 "Evaluating guards"). Ignored for Pred
+	// guards, which are functional by construction.
+	Proc *rtti.Proc
+	// Fn is the out-of-line predicate.
+	Fn GuardFn
+	// Pred is an inlinable predicate.
+	Pred *codegen.Pred
+	// Closure is passed as the guard's leading argument when non-nil.
+	Closure any
+}
+
+// OrderKind enumerates the paper's handler ordering constraints (§2.3
+// "Ordering handlers").
+type OrderKind int
+
+const (
+	// Unordered handlers append after previously installed handlers.
+	Unordered OrderKind = iota
+	// OrderFirst places the handler at the beginning of the handler list
+	// at the time it is installed.
+	OrderFirst
+	// OrderLast places the handler at the end of the handler list at the
+	// time it is installed.
+	OrderLast
+	// OrderBefore places the handler immediately before Ref.
+	OrderBefore
+	// OrderAfter places the handler immediately after Ref.
+	OrderAfter
+)
+
+func (k OrderKind) String() string {
+	switch k {
+	case Unordered:
+		return "Unordered"
+	case OrderFirst:
+		return "First"
+	case OrderLast:
+		return "Last"
+	case OrderBefore:
+		return "Before"
+	case OrderAfter:
+		return "After"
+	}
+	return "Order(?)"
+}
+
+// Order is an ordering constraint, optionally relative to another binding.
+type Order struct {
+	Kind OrderKind
+	Ref  *Binding
+}
+
+// Binding represents one installed handler on one event. The same handler
+// may be installed many times, on the same or different events; each
+// installation is an independent Binding (§2.1).
+type Binding struct {
+	event   *Event
+	handler Handler
+	closure any
+	guards  []Guard // installer-supplied guards
+	imposed []Guard // authority-imposed guards (§2.5)
+	order   Order
+
+	async             bool
+	ephemeral         bool
+	ephemeralDeadline time.Duration
+	filter            bool
+	intrinsic         bool
+	isDefault         bool
+	credential        any
+
+	installed    bool
+	fired        atomic.Int64
+	terminations atomic.Int64
+	terminated   atomic.Bool
+}
+
+// Event returns the event this binding is installed on.
+func (b *Binding) Event() *Event { return b.event }
+
+// HandlerName returns the handler procedure's qualified name.
+func (b *Binding) HandlerName() string {
+	if b.handler.Proc == nil {
+		return "<anonymous>"
+	}
+	return b.handler.Proc.Name
+}
+
+// Installer returns the module that offered the handler (the handler
+// procedure's defining module).
+func (b *Binding) Installer() *rtti.Module {
+	if b.handler.Proc == nil {
+		return nil
+	}
+	return b.handler.Proc.Module
+}
+
+// Intrinsic reports whether this is the event's intrinsic handler.
+func (b *Binding) Intrinsic() bool { return b.intrinsic }
+
+// Async reports whether the handler executes asynchronously.
+func (b *Binding) Async() bool { return b.async }
+
+// Ephemeral reports whether the handler invited termination.
+func (b *Binding) Ephemeral() bool { return b.ephemeral }
+
+// Filter reports whether the handler was installed as a filter.
+func (b *Binding) Filter() bool { return b.filter }
+
+// Fired reports how many times the handler has fired.
+func (b *Binding) Fired() int64 { return b.fired.Load() }
+
+// Terminations reports how many invocations were terminated (EPHEMERAL
+// deadline overruns and panics).
+func (b *Binding) Terminations() int64 { return b.terminations.Load() }
+
+// Terminated reports whether a watchdog termination has occurred; a
+// cooperative EPHEMERAL handler may poll it to stop early.
+func (b *Binding) Terminated() bool { return b.terminated.Load() }
+
+// Installed reports whether the binding is currently on its event's
+// handler list.
+func (b *Binding) Installed() bool {
+	b.event.mu.Lock()
+	defer b.event.mu.Unlock()
+	return b.installed
+}
+
+// Order returns the binding's current ordering constraint.
+func (b *Binding) Order() Order {
+	b.event.mu.Lock()
+	defer b.event.mu.Unlock()
+	return b.order
+}
+
+// ImposedGuards returns a snapshot of the authority-imposed guards.
+func (b *Binding) ImposedGuards() []Guard {
+	b.event.mu.Lock()
+	defer b.event.mu.Unlock()
+	return append([]Guard(nil), b.imposed...)
+}
+
+// compile converts the binding to the code generator's representation.
+// Caller holds the event lock.
+func (b *Binding) compile(d *Dispatcher) *codegen.Binding {
+	cb := &codegen.Binding{
+		Fn:        b.handler.Fn,
+		Closure:   b.closure,
+		Inline:    b.handler.Inline,
+		Async:     b.async,
+		Ephemeral: b.ephemeral,
+		Filter:    b.filter,
+		Tag:       b,
+	}
+	for _, g := range b.guards {
+		cb.Guards = append(cb.Guards, d.compileGuard(g))
+	}
+	for _, g := range b.imposed {
+		cb.Guards = append(cb.Guards, d.compileGuard(g))
+	}
+	return cb
+}
+
+// compileGuard lowers one guard, wrapping out-of-line guards with the
+// purity monitor when enabled.
+func (d *Dispatcher) compileGuard(g Guard) codegen.Guard {
+	cg := codegen.Guard{Closure: g.Closure, Pred: g.Pred}
+	if g.Pred != nil {
+		return cg
+	}
+	fn := g.Fn
+	if d.purity {
+		inner := fn
+		fn = func(closure any, args []any) bool {
+			snap := make([]any, len(args))
+			copy(snap, args)
+			r := inner(closure, args)
+			for i := range snap {
+				if !looselyEqual(snap[i], args[i]) {
+					panic(ErrGuardMutatedArgs)
+				}
+			}
+			return r
+		}
+	}
+	cg.Fn = fn
+	return cg
+}
+
+// looselyEqual compares two argument values, treating uncomparable values
+// as equal (in-place mutation through a shared reference is invisible to a
+// shallow snapshot either way).
+func looselyEqual(a, b any) (eq bool) {
+	defer func() {
+		if recover() != nil {
+			eq = true
+		}
+	}()
+	return a == b
+}
+
+// countGuards reports the number of guards (installer plus imposed) on the
+// binding. Caller holds the event lock.
+func (b *Binding) countGuards() int { return len(b.guards) + len(b.imposed) }

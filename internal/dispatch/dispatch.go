@@ -1,0 +1,218 @@
+// Package dispatch implements the SPIN event dispatcher, the primary
+// contribution of "Dynamic Binding for an Extensible System" (Pardyak &
+// Bershad, OSDI 1996).
+//
+// Events are procedure signatures; raising an event is a conditional
+// invocation of the handlers installed on it. The dispatcher provides:
+//
+//   - dynamic installation and removal of handlers, with deterministic
+//     ordering constraints (First/Last/Before/After, §2.3);
+//   - guards: side-effect-free predicates that filter handler invocations,
+//     installable by the handler's installer and imposable by the event's
+//     authority (§2.2, §2.5);
+//   - closures passed to handlers and guards at invocation (§2.1);
+//   - filters: handlers that take parameters by reference and rewrite the
+//     arguments seen by later handlers (§2.3);
+//   - result handlers, default handlers, and the no-handler exception
+//     (§2.3 "Handling results");
+//   - asynchronous events and handlers, and EPHEMERAL handler termination
+//     (§2.6 "Denial of service");
+//   - access control through authorities, authorizers, and imposed guards
+//     (§2.5);
+//   - installation-time typechecking against the rtti signatures (§2.4).
+//
+// Performance structure (§3): an event whose only binding is the unguarded
+// intrinsic handler is dispatched as a direct procedure call, bypassing the
+// dispatcher. Richer events execute a specialized dispatch plan generated
+// by internal/codegen; installs regenerate the plan and publish it with a
+// single atomic store, so raises never take the installation lock.
+package dispatch
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"spin/internal/codegen"
+	"spin/internal/vtime"
+)
+
+// Errors surfaced by the dispatcher. ErrNoHandler is the Go rendering of
+// the paper's "runtime exception thrown at the point the event is raised"
+// when no handler fires and no default handler is installed.
+var (
+	ErrNoHandler            = errors.New("dispatch: no handler fired for event")
+	ErrAmbiguousResult      = errors.New("dispatch: multiple results without a result handler")
+	ErrBadArity             = errors.New("dispatch: wrong number of raise arguments")
+	ErrBadArgType           = errors.New("dispatch: raise argument has wrong type")
+	ErrDuplicateEvent       = errors.New("dispatch: event already defined")
+	ErrNotAuthority         = errors.New("dispatch: module is not the event's authority")
+	ErrDenied               = errors.New("dispatch: operation denied by the event's authorizer")
+	ErrAsyncByRef           = errors.New("dispatch: asynchronous execution illegal with by-reference arguments")
+	ErrAsyncNeedsDefault    = errors.New("dispatch: asynchronous raise of a result event requires a default handler")
+	ErrNotEphemeralProc     = errors.New("dispatch: handler procedure is not declared EPHEMERAL")
+	ErrNotInstalled         = errors.New("dispatch: binding is not installed")
+	ErrOrderRef             = errors.New("dispatch: ordering constraint references a binding on a different event")
+	ErrNilHandler           = errors.New("dispatch: handler has no implementation")
+	ErrGuardMutatedArgs     = errors.New("dispatch: FUNCTIONAL guard mutated its arguments")
+	ErrIntrinsicNotDeferred = errors.New("dispatch: event already has an intrinsic handler")
+)
+
+// Dispatcher oversees event-based communication for one kernel instance.
+// All handler-list manipulation serializes on the dispatcher; event raises
+// are lock-free against the published plans.
+type Dispatcher struct {
+	mu     sync.Mutex
+	events map[string]*Event
+
+	cpu     *vtime.CPU
+	sim     *vtime.Simulator
+	cgOpts  codegen.Options
+	purity  bool
+	spawner func(fn func())
+	quota   quotas
+}
+
+// Option configures a Dispatcher.
+type Option func(*Dispatcher)
+
+// WithCPU meters all dispatch activity on cpu, enabling the virtual-time
+// benchmarks. A nil cpu leaves the dispatcher unmetered.
+func WithCPU(cpu *vtime.CPU) Option {
+	return func(d *Dispatcher) { d.cpu = cpu }
+}
+
+// WithSimulator runs asynchronous handlers and events on the discrete-event
+// simulator instead of real goroutines, keeping metered runs deterministic.
+func WithSimulator(sim *vtime.Simulator) Option {
+	return func(d *Dispatcher) { d.sim = sim }
+}
+
+// WithCodegenOptions overrides the code generator's optimization switches,
+// used by the ablation benchmarks.
+func WithCodegenOptions(opts codegen.Options) Option {
+	return func(d *Dispatcher) { d.cgOpts = opts }
+}
+
+// WithPurityChecking makes the dispatcher verify, on every evaluation, that
+// out-of-line FUNCTIONAL guards did not mutate their arguments. This is the
+// runtime stand-in for Modula-3's compiler-verified FUNCTIONAL attribute;
+// it is meant for testing, not production dispatch.
+func WithPurityChecking() Option {
+	return func(d *Dispatcher) { d.purity = true }
+}
+
+// WithSpawner overrides how real-mode asynchronous invocations obtain a
+// thread of control. The default runs each on a new goroutine.
+func WithSpawner(spawn func(fn func())) Option {
+	return func(d *Dispatcher) { d.spawner = spawn }
+}
+
+// New creates a dispatcher.
+func New(opts ...Option) *Dispatcher {
+	d := &Dispatcher{events: make(map[string]*Event)}
+	for _, o := range opts {
+		o(d)
+	}
+	if d.spawner == nil {
+		d.spawner = func(fn func()) { go fn() }
+	}
+	return d
+}
+
+// CPU returns the dispatcher's meter (nil when unmetered).
+func (d *Dispatcher) CPU() *vtime.CPU { return d.cpu }
+
+// Simulator returns the attached simulator, or nil.
+func (d *Dispatcher) Simulator() *vtime.Simulator { return d.sim }
+
+// Lookup returns the named event, if defined.
+func (d *Dispatcher) Lookup(name string) (*Event, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.events[name]
+	return e, ok
+}
+
+// Events returns a snapshot of all defined events, in no particular order.
+func (d *Dispatcher) Events() []*Event {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*Event, 0, len(d.events))
+	for _, e := range d.events {
+		out = append(out, e)
+	}
+	return out
+}
+
+// spawn runs fn on a separate thread of control, charging the raiser the
+// thread-creation latency the paper reports for asynchronous events
+// (38-90us depending on the number of arguments). In simulator mode the
+// invocation is scheduled as a discrete event so metered runs stay
+// deterministic and single-threaded; otherwise a goroutine is used.
+func (d *Dispatcher) spawn(arity int, fn func()) {
+	// Thread creation is kernel work, not dispatch overhead: attribute
+	// it to the kernel account so the §3.2 events share stays honest.
+	d.cpu.ChargeTo(vtime.AccountKernel, vtime.ThreadSpawnBase)
+	d.cpu.ChargeNTo(vtime.AccountKernel, vtime.ThreadSpawnArg, arity)
+	if d.sim != nil {
+		d.sim.After(0, fn)
+		return
+	}
+	d.spawner(fn)
+}
+
+// runEphemeral supervises an EPHEMERAL handler invocation (§2.6 "Runaway
+// handlers"). In real-time mode the handler runs on its own goroutine with
+// a watchdog; if the deadline passes, the invocation is abandoned — the
+// dispatcher returns to the raiser, the handler's eventual result is
+// discarded, and the binding's termination counter advances. A panicking
+// handler is likewise treated as terminated. Go cannot destroy a thread,
+// so abandonment substitutes for SPIN's termination; see DESIGN.md.
+//
+// In simulator mode handler bodies execute instantly in wall-clock terms,
+// so the watchdog cannot fire; the supervisor still recovers panics.
+func (d *Dispatcher) runEphemeral(tag any, deadline time.Duration, invoke func() any) (any, bool) {
+	b, _ := tag.(*Binding)
+	if d.sim != nil || deadline <= 0 {
+		res, ok := protect(invoke)
+		if !ok && b != nil {
+			b.terminations.Add(1)
+		}
+		return res, ok
+	}
+	type reply struct {
+		res any
+		ok  bool
+	}
+	done := make(chan reply, 1)
+	go func() {
+		res, ok := protect(invoke)
+		done <- reply{res, ok}
+	}()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		if !r.ok && b != nil {
+			b.terminations.Add(1)
+		}
+		return r.res, r.ok
+	case <-timer.C:
+		if b != nil {
+			b.terminations.Add(1)
+			b.terminated.Store(true)
+		}
+		return nil, false
+	}
+}
+
+// protect runs invoke, converting a panic into a termination.
+func protect(invoke func() any) (res any, ok bool) {
+	defer func() {
+		if recover() != nil {
+			res, ok = nil, false
+		}
+	}()
+	return invoke(), true
+}

@@ -1,0 +1,624 @@
+package dispatch
+
+import (
+	"errors"
+	"testing"
+
+	"spin/internal/codegen"
+	"spin/internal/rtti"
+)
+
+// Test fixtures: a module, events of various shapes, and handler builders.
+
+var testModule = rtti.NewModule("TestModule", "Test")
+
+func voidProc(name string, args ...rtti.Type) *rtti.Proc {
+	return &rtti.Proc{Name: name, Module: testModule, Sig: rtti.Sig(nil, args...)}
+}
+
+func resultProc(name string, result rtti.Type, args ...rtti.Type) *rtti.Proc {
+	return &rtti.Proc{Name: name, Module: testModule, Sig: rtti.Sig(result, args...)}
+}
+
+func guardProc(name string, args ...rtti.Type) *rtti.Proc {
+	return &rtti.Proc{Name: name, Module: testModule, Sig: rtti.Sig(rtti.Bool, args...), Functional: true}
+}
+
+func handler(proc *rtti.Proc, fn HandlerFn) Handler {
+	return Handler{Proc: proc, Fn: fn}
+}
+
+func mustDefine(t *testing.T, d *Dispatcher, name string, sig rtti.Signature, opts ...EventOption) *Event {
+	t.Helper()
+	e, err := d.DefineEvent(name, sig, opts...)
+	if err != nil {
+		t.Fatalf("DefineEvent(%s): %v", name, err)
+	}
+	return e
+}
+
+func TestDefineEventBasics(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil, rtti.Word))
+	if e.Name() != "M.P" || e.Signature().Arity() != 1 {
+		t.Fatal("event metadata wrong")
+	}
+	if _, ok := d.Lookup("M.P"); !ok {
+		t.Fatal("Lookup missed defined event")
+	}
+	if _, ok := d.Lookup("M.Q"); ok {
+		t.Fatal("Lookup invented an event")
+	}
+	if len(d.Events()) != 1 {
+		t.Fatal("Events() snapshot wrong")
+	}
+	if _, err := d.DefineEvent("M.P", rtti.Sig(nil)); !errors.Is(err, ErrDuplicateEvent) {
+		t.Fatalf("duplicate define: %v", err)
+	}
+}
+
+func TestIntrinsicHandlerDispatchesAsProcedureCall(t *testing.T) {
+	// Figure 1: an event with only an intrinsic handler is identical (in
+	// semantics and implementation) to a procedure call.
+	d := New()
+	calls := 0
+	e := mustDefine(t, d, "M.P", rtti.Sig(rtti.Word, rtti.Word),
+		WithIntrinsic(handler(resultProc("M.P", rtti.Word, rtti.Word), func(clo any, args []any) any {
+			calls++
+			return args[0].(int) * 2
+		})))
+	if e.Plan().Direct() == nil {
+		t.Fatal("intrinsic-only event must compile to a direct call")
+	}
+	res, err := e.Raise(21)
+	if err != nil || res != 42 || calls != 1 {
+		t.Fatalf("res=%v err=%v calls=%d", res, err, calls)
+	}
+	if e.Authority() != testModule {
+		t.Fatal("authority must be the intrinsic handler's module")
+	}
+	if e.IntrinsicBinding() == nil {
+		t.Fatal("intrinsic binding missing")
+	}
+}
+
+func TestReplaceIntrinsicHandler(t *testing.T) {
+	// §2.1: "A typical model for changing the implementation of a single
+	// procedure within a module is to deregister the intrinsic handler
+	// and then register an alternate one."
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(rtti.Text),
+		WithIntrinsic(handler(resultProc("M.P", rtti.Text), func(any, []any) any { return "old" })))
+	if err := e.Uninstall(e.IntrinsicBinding()); err != nil {
+		t.Fatalf("deregister intrinsic: %v", err)
+	}
+	if e.IntrinsicBinding() != nil {
+		t.Fatal("intrinsic still reported installed")
+	}
+	if _, err := e.Raise(); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("raise with no handlers: %v", err)
+	}
+	if _, err := e.Install(handler(resultProc("N.P", rtti.Text), func(any, []any) any { return "new" })); err != nil {
+		t.Fatalf("install replacement: %v", err)
+	}
+	res, err := e.Raise()
+	if err != nil || res != "new" {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestNoHandlerException(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil))
+	if _, err := e.Raise(); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("err = %v, want ErrNoHandler", err)
+	}
+}
+
+func TestBadArity(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil, rtti.Word))
+	if _, err := e.Raise(); !errors.Is(err, ErrBadArity) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := e.Raise(1, 2); !errors.Is(err, ErrBadArity) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := e.RaiseAsync(); !errors.Is(err, ErrBadArity) {
+		t.Fatalf("async err = %v", err)
+	}
+}
+
+func TestArgTypeCheckingInPurityMode(t *testing.T) {
+	d := New(WithPurityChecking())
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil, rtti.Word, rtti.Text))
+	_, _ = e.Install(handler(voidProc("H", rtti.Word, rtti.Text), func(any, []any) any { return nil }))
+	if _, err := e.Raise(1, "ok"); err != nil {
+		t.Fatalf("valid args rejected: %v", err)
+	}
+	if _, err := e.Raise("wrong", "ok"); !errors.Is(err, ErrBadArgType) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInstallTypechecking(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil, rtti.Word))
+	// Wrong arity.
+	if _, err := e.Install(handler(voidProc("H"), func(any, []any) any { return nil })); err == nil {
+		t.Fatal("wrong-arity handler accepted")
+	}
+	// Wrong result.
+	if _, err := e.Install(handler(resultProc("H", rtti.Word, rtti.Word), func(any, []any) any { return nil })); err == nil {
+		t.Fatal("wrong-result handler accepted")
+	}
+	// Missing implementation and descriptor.
+	if _, err := e.Install(Handler{Proc: voidProc("H", rtti.Word)}); !errors.Is(err, ErrNilHandler) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := e.Install(Handler{Fn: func(any, []any) any { return nil }}); !errors.Is(err, rtti.ErrNilProc) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClosurePassedToHandler(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil, rtti.Word))
+	var got any
+	proc := &rtti.Proc{Name: "H", Module: testModule,
+		Sig: rtti.Signature{Args: []rtti.Type{rtti.RefAny, rtti.Word}}}
+	_, err := e.Install(handler(proc, func(clo any, args []any) any {
+		got = clo
+		return nil
+	}), WithClosure("the-closure"))
+	if err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if _, err := e.Raise(7); err != nil {
+		t.Fatalf("raise: %v", err)
+	}
+	if got != "the-closure" {
+		t.Fatalf("closure = %v", got)
+	}
+}
+
+func TestClosureTypechecking(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil))
+	// Handler with a closure must declare a closure parameter.
+	noParam := voidProc("H")
+	if _, err := e.Install(handler(noParam, func(any, []any) any { return nil }), WithClosure("x")); err == nil {
+		t.Fatal("closure without parameter accepted")
+	}
+	// Closure of the wrong type must be rejected: Text is not a
+	// reference type.
+	wordParam := &rtti.Proc{Name: "H", Module: testModule,
+		Sig: rtti.Signature{Args: []rtti.Type{rtti.Word}}}
+	if _, err := e.Install(handler(wordParam, func(any, []any) any { return nil }), WithClosure("str")); err == nil {
+		t.Fatal("TEXT closure accepted for WORD parameter")
+	}
+}
+
+func TestSameHandlerInstalledManyTimes(t *testing.T) {
+	// §2.1: the same handler can be installed many times and is invoked
+	// independently for each installation.
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil))
+	n := 0
+	h := handler(voidProc("H"), func(any, []any) any { n++; return nil })
+	for i := 0; i < 3; i++ {
+		if _, err := e.Install(h); err != nil {
+			t.Fatalf("install %d: %v", i, err)
+		}
+	}
+	if _, err := e.Raise(); err != nil {
+		t.Fatalf("raise: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("handler fired %d times, want 3", n)
+	}
+}
+
+func TestGuardsConditionDispatch(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "Trap.Syscall", rtti.Sig(nil, rtti.Word))
+	var machCalls, osfCalls int
+	isMach := Guard{Proc: guardProc("IsMach", rtti.Word), Fn: func(clo any, args []any) bool {
+		return args[0].(int) < 100
+	}}
+	isOSF := Guard{Proc: guardProc("IsOSF", rtti.Word), Fn: func(clo any, args []any) bool {
+		return args[0].(int) >= 100
+	}}
+	_, _ = e.Install(handler(voidProc("Mach.Syscall", rtti.Word), func(any, []any) any { machCalls++; return nil }), WithGuard(isMach))
+	_, _ = e.Install(handler(voidProc("OSF.Syscall", rtti.Word), func(any, []any) any { osfCalls++; return nil }), WithGuard(isOSF))
+
+	if _, err := e.Raise(42); err != nil {
+		t.Fatalf("raise: %v", err)
+	}
+	if _, err := e.Raise(200); err != nil {
+		t.Fatalf("raise: %v", err)
+	}
+	if machCalls != 1 || osfCalls != 1 {
+		t.Fatalf("mach=%d osf=%d", machCalls, osfCalls)
+	}
+}
+
+func TestGuardRejectionRaisesNoHandler(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil))
+	never := Guard{Pred: codegen.False()}
+	_, _ = e.Install(handler(voidProc("H"), func(any, []any) any { return nil }), WithGuard(never))
+	if _, err := e.Raise(); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGuardClosure(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil, rtti.Word))
+	gproc := &rtti.Proc{Name: "G", Module: testModule, Functional: true,
+		Sig: rtti.Signature{Args: []rtti.Type{rtti.RefAny, rtti.Word}, Result: rtti.Bool}}
+	var sawClosure any
+	g := Guard{Proc: gproc, Closure: "guard-closure", Fn: func(clo any, args []any) bool {
+		sawClosure = clo
+		return true
+	}}
+	n := 0
+	_, err := e.Install(handler(voidProc("H", rtti.Word), func(any, []any) any { n++; return nil }), WithGuard(g))
+	if err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if _, err := e.Raise(1); err != nil {
+		t.Fatalf("raise: %v", err)
+	}
+	if sawClosure != "guard-closure" || n != 1 {
+		t.Fatalf("closure=%v n=%d", sawClosure, n)
+	}
+}
+
+func TestGuardMustBeFunctional(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil))
+	impure := &rtti.Proc{Name: "G", Module: testModule, Sig: rtti.Sig(rtti.Bool)}
+	g := Guard{Proc: impure, Fn: func(any, []any) bool { return true }}
+	_, err := e.Install(handler(voidProc("H"), func(any, []any) any { return nil }), WithGuard(g))
+	if !errors.Is(err, rtti.ErrNotFunc) {
+		t.Fatalf("err = %v, want ErrNotFunc", err)
+	}
+}
+
+func TestPurityMonitorCatchesMutatingGuard(t *testing.T) {
+	d := New(WithPurityChecking())
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil, rtti.Word))
+	evil := Guard{Proc: guardProc("Evil", rtti.Word), Fn: func(clo any, args []any) bool {
+		args[0] = 999 // FUNCTIONAL violation
+		return true
+	}}
+	_, _ = e.Install(handler(voidProc("H", rtti.Word), func(any, []any) any { return nil }), WithGuard(evil))
+	if _, err := e.Raise(1); !errors.Is(err, ErrGuardMutatedArgs) {
+		t.Fatalf("err = %v, want ErrGuardMutatedArgs", err)
+	}
+}
+
+func TestResultSingleHandler(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.F", rtti.Sig(rtti.Word))
+	_, _ = e.Install(handler(resultProc("H", rtti.Word), func(any, []any) any { return 7 }))
+	res, err := e.Raise()
+	if err != nil || res != 7 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestResultHandlerLogicalOr(t *testing.T) {
+	// The paper's VM.PageFault example: the result handler returns the
+	// logical-or of all the handler results.
+	d := New()
+	e := mustDefine(t, d, "VM.PageFault", rtti.Sig(rtti.Bool, rtti.Word))
+	if err := e.SetResultHandler(func(acc, r any, i int) any {
+		a, _ := acc.(bool)
+		b, _ := r.(bool)
+		return a || b
+	}); err != nil {
+		t.Fatalf("SetResultHandler: %v", err)
+	}
+	mk := func(v bool) Handler {
+		return handler(resultProc("Pager", rtti.Bool, rtti.Word), func(any, []any) any { return v })
+	}
+	_, _ = e.Install(mk(false))
+	_, _ = e.Install(mk(true))
+	_, _ = e.Install(mk(false))
+	res, err := e.Raise(0x1000)
+	if err != nil || res != true {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestAmbiguousResultError(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.F", rtti.Sig(rtti.Word))
+	_, _ = e.Install(handler(resultProc("H1", rtti.Word), func(any, []any) any { return 1 }))
+	_, _ = e.Install(handler(resultProc("H2", rtti.Word), func(any, []any) any { return 2 }))
+	if _, err := e.Raise(); !errors.Is(err, ErrAmbiguousResult) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDefaultHandler(t *testing.T) {
+	// §2.3: a default handler executes only when no other handler fires.
+	d := New()
+	e := mustDefine(t, d, "VM.PageFault", rtti.Sig(rtti.Bool, rtti.Word))
+	if err := e.SetDefaultHandler(handler(resultProc("DefaultPager", rtti.Bool, rtti.Word),
+		func(any, []any) any { return true })); err != nil {
+		t.Fatalf("SetDefaultHandler: %v", err)
+	}
+	res, err := e.Raise(0)
+	if err != nil || res != true {
+		t.Fatalf("default path: res=%v err=%v", res, err)
+	}
+	// Install a real handler: default must step aside.
+	_, _ = e.Install(handler(resultProc("Pager", rtti.Bool, rtti.Word), func(any, []any) any { return false }))
+	res, err = e.Raise(0)
+	if err != nil || res != false {
+		t.Fatalf("handler path: res=%v err=%v", res, err)
+	}
+	// Clearing restores the exception.
+	_ = e.SetDefaultHandler(handler(resultProc("Pager", rtti.Bool, rtti.Word), func(any, []any) any { return false }))
+	if err := e.SetDefaultHandler(Handler{}); err != nil {
+		t.Fatalf("clear default: %v", err)
+	}
+}
+
+func TestFilterRewritesArguments(t *testing.T) {
+	// §2.3: the MS-DOS-name-space example — a filter converts file names,
+	// subsequent handlers see the converted value, the raiser's value is
+	// untouched.
+	d := New()
+	e := mustDefine(t, d, "FS.Open", rtti.Sig(nil, rtti.Text))
+	fproc := &rtti.Proc{Name: "DosFilter", Module: testModule,
+		Sig: rtti.Signature{Args: []rtti.Type{rtti.Text}, ByRef: []bool{true}}}
+	_, err := e.Install(Handler{Proc: fproc, Fn: func(clo any, args []any) any {
+		args[0] = "unix/" + args[0].(string)
+		return nil
+	}}, AsFilter())
+	if err != nil {
+		t.Fatalf("install filter: %v", err)
+	}
+	var seen string
+	_, _ = e.Install(handler(voidProc("Open", rtti.Text), func(clo any, args []any) any {
+		seen = args[0].(string)
+		return nil
+	}), Last())
+	name := "C:\\AUTOEXEC.BAT"
+	if _, err := e.Raise(name); err != nil {
+		t.Fatalf("raise: %v", err)
+	}
+	if seen != "unix/C:\\AUTOEXEC.BAT" {
+		t.Fatalf("downstream saw %q", seen)
+	}
+	if name != "C:\\AUTOEXEC.BAT" {
+		t.Fatal("raiser's value mutated")
+	}
+}
+
+func TestGuardAfterFilterSeesRewrittenArgs(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil, rtti.Word))
+	fproc := &rtti.Proc{Name: "F", Module: testModule,
+		Sig: rtti.Signature{Args: []rtti.Type{rtti.Word}, ByRef: []bool{true}}}
+	_, _ = e.Install(Handler{Proc: fproc, Fn: func(clo any, args []any) any {
+		args[0] = uint64(80)
+		return nil
+	}}, AsFilter())
+	fired := 0
+	_, _ = e.Install(handler(voidProc("H", rtti.Word), func(any, []any) any { fired++; return nil }),
+		WithGuard(Guard{Pred: codegen.ArgEq(0, 80)}), Last())
+	if _, err := e.Raise(uint64(9999)); err != nil {
+		t.Fatalf("raise: %v", err)
+	}
+	if fired != 1 {
+		t.Fatal("guard after filter did not see rewritten argument")
+	}
+}
+
+func TestUninstall(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil))
+	n := 0
+	b, _ := e.Install(handler(voidProc("H"), func(any, []any) any { n++; return nil }))
+	if !b.Installed() {
+		t.Fatal("binding not reported installed")
+	}
+	if err := e.Uninstall(b); err != nil {
+		t.Fatalf("uninstall: %v", err)
+	}
+	if b.Installed() {
+		t.Fatal("binding still reported installed")
+	}
+	if err := e.Uninstall(b); !errors.Is(err, ErrNotInstalled) {
+		t.Fatalf("double uninstall: %v", err)
+	}
+	if err := e.Uninstall(nil); !errors.Is(err, ErrNotInstalled) {
+		t.Fatalf("nil uninstall: %v", err)
+	}
+	if _, err := e.Raise(); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("raise after uninstall: %v", err)
+	}
+	if n != 0 {
+		t.Fatal("handler fired after uninstall")
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil))
+	_, _ = e.Install(handler(voidProc("H"), func(any, []any) any { return nil }),
+		WithGuard(Guard{Pred: codegen.True()}))
+	_, _ = e.Install(handler(voidProc("H2"), func(any, []any) any { return nil }))
+	for i := 0; i < 5; i++ {
+		_, _ = e.Raise()
+	}
+	s := e.Stats()
+	if s.Raised != 5 {
+		t.Errorf("Raised = %d", s.Raised)
+	}
+	if s.Fired != 10 {
+		t.Errorf("Fired = %d", s.Fired)
+	}
+	if s.Handlers != 2 {
+		t.Errorf("Handlers = %d", s.Handlers)
+	}
+	if s.Guards != 1 {
+		t.Errorf("Guards = %d", s.Guards)
+	}
+}
+
+func TestBindingAccessors(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil))
+	b, _ := e.Install(handler(voidProc("Mod.H"), func(any, []any) any { return nil }))
+	if b.Event() != e {
+		t.Error("Event() wrong")
+	}
+	if b.HandlerName() != "Mod.H" {
+		t.Errorf("HandlerName = %q", b.HandlerName())
+	}
+	if b.Installer() != testModule {
+		t.Error("Installer wrong")
+	}
+	if b.Intrinsic() || b.Async() || b.Ephemeral() || b.Filter() {
+		t.Error("property flags wrong")
+	}
+	_, _ = e.Raise()
+	if b.Fired() != 1 {
+		t.Errorf("Fired = %d", b.Fired())
+	}
+	anon := &Binding{event: e}
+	if anon.HandlerName() != "<anonymous>" || anon.Installer() != nil {
+		t.Error("anonymous binding accessors wrong")
+	}
+}
+
+func TestEventLookupAndPlanDisassembly(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil),
+		WithIntrinsic(handler(voidProc("M.P"), func(any, []any) any { return nil })))
+	if e.Plan().Disassemble() == "" {
+		t.Fatal("empty disassembly")
+	}
+}
+
+func TestAsyncEventDefinitionRejectsByRef(t *testing.T) {
+	d := New()
+	sig := rtti.Signature{Args: []rtti.Type{rtti.Word}, ByRef: []bool{true}}
+	if _, err := d.DefineEvent("M.P", sig, AsAsync()); !errors.Is(err, ErrAsyncByRef) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvalidSignatureRejected(t *testing.T) {
+	d := New()
+	bad := rtti.Signature{Args: []rtti.Type{rtti.Word}, ByRef: []bool{true, false}}
+	if _, err := d.DefineEvent("M.P", bad); err == nil {
+		t.Fatal("invalid signature accepted")
+	}
+}
+
+func TestAccessorsAndStringers(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.Async", rtti.Sig(nil), AsAsync())
+	if !e.Async() {
+		t.Fatal("Async() false for async event")
+	}
+	if e.Dispatcher() != d {
+		t.Fatal("Dispatcher() wrong")
+	}
+	for _, k := range []OrderKind{Unordered, OrderFirst, OrderLast, OrderBefore, OrderAfter, OrderKind(99)} {
+		if k.String() == "" {
+			t.Fatal("empty OrderKind name")
+		}
+	}
+	for _, op := range []AuthOp{OpInstall, OpUninstall, OpSetDefault, OpSetResult, AuthOp(99)} {
+		if op.String() == "" {
+			t.Fatal("empty AuthOp name")
+		}
+	}
+}
+
+func TestGuardValidationErrors(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil))
+	h := handler(voidProc("H"), func(any, []any) any { return nil })
+	// Guard without implementation.
+	if _, err := e.Install(h, WithGuard(Guard{Proc: guardProc("G")})); err == nil {
+		t.Fatal("guard without Fn accepted")
+	}
+	// Guard with Fn but no descriptor.
+	if _, err := e.Install(h, WithGuard(Guard{Fn: func(any, []any) bool { return true }})); err == nil {
+		t.Fatal("guard without Proc accepted")
+	}
+}
+
+func TestImposeGuardTypecheckFailure(t *testing.T) {
+	d := New()
+	owner := rtti.NewModule("Owner")
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil, rtti.Word), WithOwner(owner))
+	b, _ := e.Install(handler(voidProc("H", rtti.Word), func(any, []any) any { return nil }))
+	// An imposed guard with a mismatched signature is rejected.
+	bad := Guard{
+		Proc: &rtti.Proc{Name: "G", Module: owner, Functional: true,
+			Sig: rtti.Sig(rtti.Bool, rtti.Text)},
+		Fn: func(any, []any) bool { return true },
+	}
+	if err := e.ImposeGuard(b, bad, owner); err == nil {
+		t.Fatal("ill-typed imposed guard accepted")
+	}
+	// Authorizer-context imposition hits the same check.
+	_ = e.InstallAuthorizer(func(req *AuthRequest) bool {
+		return req.ImposeGuard(bad) == nil
+	}, owner)
+	if _, err := e.Install(handler(voidProc("H2", rtti.Word), func(any, []any) any { return nil })); !errors.Is(err, ErrDenied) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSetDefaultHandlerValidation(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.F", rtti.Sig(rtti.Word))
+	// Wrong signature default handler.
+	bad := handler(voidProc("D"), func(any, []any) any { return nil })
+	if err := e.SetDefaultHandler(bad); err == nil {
+		t.Fatal("ill-typed default handler accepted")
+	}
+	// Missing descriptor.
+	if err := e.SetDefaultHandler(Handler{Fn: func(any, []any) any { return nil }}); err == nil {
+		t.Fatal("default handler without Proc accepted")
+	}
+}
+
+func TestSetOrderRestoresOnBadRef(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil))
+	a, _ := e.Install(handler(voidProc("A"), func(any, []any) any { return nil }))
+	b, _ := e.Install(handler(voidProc("B"), func(any, []any) any { return nil }))
+	other := mustDefine(t, d, "M.Q", rtti.Sig(nil))
+	foreign, _ := other.Install(handler(voidProc("X"), func(any, []any) any { return nil }))
+	// Reordering against a foreign binding fails and restores position.
+	if err := e.SetOrder(a, Order{Kind: OrderBefore, Ref: foreign}); !errors.Is(err, ErrOrderRef) {
+		t.Fatalf("err = %v", err)
+	}
+	if e.Position(a) != 0 || e.Position(b) != 1 {
+		t.Fatalf("positions disturbed: a=%d b=%d", e.Position(a), e.Position(b))
+	}
+}
+
+func TestBindingStringIsInformative(t *testing.T) {
+	d := New()
+	e := mustDefine(t, d, "M.P", rtti.Sig(nil))
+	b, _ := e.Install(handler(voidProc("Mod.H"), func(any, []any) any { return nil }))
+	_ = b
+	// Strand-style String on Order values via the binding accessors.
+	if b.Order().Kind != Unordered {
+		t.Fatal("fresh binding has a constraint")
+	}
+}

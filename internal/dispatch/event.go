@@ -1,0 +1,351 @@
+package dispatch
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"spin/internal/codegen"
+	"spin/internal/rtti"
+	"spin/internal/vtime"
+)
+
+// Event is a dynamically bindable procedure name (§2.1 "Defining events").
+// Raising the event conditionally invokes the handlers installed on it; an
+// event with only its unguarded intrinsic handler dispatches as a direct
+// procedure call.
+type Event struct {
+	d         *Dispatcher
+	name      string
+	sig       rtti.Signature
+	authority *rtti.Module
+	async     bool
+
+	mu         sync.Mutex
+	bindings   []*Binding
+	intrinsic  *Binding
+	defaultB   *Binding
+	resultFn   ResultFn
+	authorizer AuthorizerFn
+
+	plan atomic.Pointer[codegen.Plan]
+
+	raised     atomic.Int64
+	firedTotal atomic.Int64
+	timeNanos  atomic.Int64
+}
+
+// EventOption configures an event at definition time.
+type EventOption func(*eventCfg)
+
+type eventCfg struct {
+	intrinsic *Handler
+	owner     *rtti.Module
+	async     bool
+}
+
+// WithIntrinsic installs h as the event's intrinsic handler: the procedure
+// with the same name as the event, invoked whenever the event is raised
+// unless explicitly deregistered. The intrinsic handler's module becomes
+// the event's authority (§2.5).
+func WithIntrinsic(h Handler) EventOption {
+	return func(c *eventCfg) { c.intrinsic = &h }
+}
+
+// WithOwner assigns an authority to an event defined without an intrinsic
+// handler (a pure announcement event).
+func WithOwner(m *rtti.Module) EventOption {
+	return func(c *eventCfg) { c.owner = m }
+}
+
+// AsAsync makes every raise of the event asynchronous: all handlers execute
+// on a separate thread of control and the raiser proceeds without blocking
+// (§2.6).
+func AsAsync() EventOption {
+	return func(c *eventCfg) { c.async = true }
+}
+
+// DefineEvent declares an event with the given qualified name and
+// signature. Every procedure in SPIN is implicitly an event; in this
+// reproduction modules declare the events they export, which is where the
+// implicit becomes explicit.
+func (d *Dispatcher) DefineEvent(name string, sig rtti.Signature, opts ...EventOption) (*Event, error) {
+	if err := sig.Validate(); err != nil {
+		return nil, err
+	}
+	var cfg eventCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.async && sig.HasByRef() {
+		// §2.6: asynchronous threads execute on different stacks, so
+		// by-reference arguments may be destroyed before going out of
+		// scope; defining such an event asynchronous is illegal.
+		return nil, fmt.Errorf("%w: event %s", ErrAsyncByRef, name)
+	}
+	e := &Event{d: d, name: name, sig: sig, async: cfg.async, authority: cfg.owner}
+
+	if cfg.intrinsic != nil {
+		h := *cfg.intrinsic
+		if err := checkHandlerImpl(h); err != nil {
+			return nil, err
+		}
+		if err := h.Proc.CheckHandler(sig, nil); err != nil {
+			return nil, err
+		}
+		if h.Proc.Module != nil {
+			e.authority = h.Proc.Module
+		}
+		e.intrinsic = &Binding{event: e, handler: h, intrinsic: true, installed: true}
+		e.bindings = append(e.bindings, e.intrinsic)
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.events[name]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateEvent, name)
+	}
+	d.events[name] = e
+	// Intrinsic handlers — most procedures in the system — are defined
+	// without any runtime overhead (§3.1), so the initial plan compiles
+	// uncharged.
+	e.recompile(false)
+	return e, nil
+}
+
+// Name returns the event's qualified name.
+func (e *Event) Name() string { return e.name }
+
+// Dispatcher returns the dispatcher the event is defined on.
+func (e *Event) Dispatcher() *Dispatcher { return e.d }
+
+// Signature returns the event's procedure signature.
+func (e *Event) Signature() rtti.Signature { return e.sig }
+
+// Authority returns the module with authority over the event (the module
+// defining the intrinsic handler), or nil for an unowned event.
+func (e *Event) Authority() *rtti.Module { return e.authority }
+
+// Async reports whether the event was defined asynchronous.
+func (e *Event) Async() bool { return e.async }
+
+// IntrinsicBinding returns the intrinsic handler's binding if it is still
+// installed.
+func (e *Event) IntrinsicBinding() *Binding {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.intrinsic != nil && e.intrinsic.installed {
+		return e.intrinsic
+	}
+	return nil
+}
+
+// Bindings returns a snapshot of the installed bindings in dispatch order.
+func (e *Event) Bindings() []*Binding {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Binding(nil), e.bindings...)
+}
+
+// Position reports the binding's index in dispatch order, or -1.
+func (e *Event) Position(b *Binding) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.positionLocked(b)
+}
+
+func (e *Event) positionLocked(b *Binding) int {
+	for i, x := range e.bindings {
+		if x == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// Plan returns the currently published dispatch plan (for tests and
+// disassembly).
+func (e *Event) Plan() *codegen.Plan { return e.plan.Load() }
+
+// recompile regenerates and publishes the dispatch plan. The caller holds
+// e.mu (or is the defining call, before the event escapes). When charge is
+// true the O(n) regeneration cost is metered, accumulating to the paper's
+// O(n^2) total installation overhead.
+func (e *Event) recompile(charge bool) {
+	specs := make([]*codegen.Binding, 0, len(e.bindings))
+	for _, b := range e.bindings {
+		specs = append(specs, b.compile(e.d))
+	}
+	var def *codegen.Binding
+	if e.defaultB != nil {
+		def = e.defaultB.compile(e.d)
+	}
+	info := codegen.EventInfo{Name: e.name, Arity: e.sig.Arity(), HasResult: e.sig.HasResult()}
+	plan := codegen.Compile(info, specs, e.resultFn, def, e.d.cgOpts)
+	if charge {
+		cpu := e.d.cpu
+		cpu.Begin(vtime.AccountEvents)
+		cpu.Charge(vtime.PlanCompileBase)
+		if !e.d.cgOpts.IncrementalInstall {
+			// Full regeneration: cost linear in the bindings present,
+			// O(n^2) for n installs (§3.1 "Installation overhead").
+			cpu.ChargeN(vtime.PlanCompileBinding, len(e.bindings))
+		}
+		// Incremental installation (the paper's anticipated "more
+		// incremental (and economical) approach") appends one
+		// pre-generated stub and patches the dispatch chain, so only
+		// the base cost is paid regardless of population.
+		cpu.End()
+	}
+	e.plan.Store(plan)
+}
+
+// Raise announces the event. All installed handlers whose guards evaluate
+// true execute; the merged result (for result events) is returned. If no
+// handler fires and no default handler is installed, ErrNoHandler is
+// returned — the paper's runtime exception at the raise point.
+//
+// For events defined asynchronous, Raise behaves as RaiseAsync and the
+// result is always nil.
+func (e *Event) Raise(args ...any) (any, error) {
+	if e.async {
+		return nil, e.RaiseAsync(args...)
+	}
+	return e.raiseSync(args)
+}
+
+// RaiseAsync raises the event asynchronously: handlers run on a separate
+// thread of control and the raiser proceeds immediately. Raising an event
+// that returns a result asynchronously is an error unless a default
+// handler is installed (§2.6).
+func (e *Event) RaiseAsync(args ...any) error {
+	if err := e.checkArgs(args); err != nil {
+		return err
+	}
+	if e.sig.HasResult() {
+		e.mu.Lock()
+		hasDefault := e.defaultB != nil
+		e.mu.Unlock()
+		if !hasDefault {
+			return fmt.Errorf("%w: %s", ErrAsyncNeedsDefault, e.name)
+		}
+	}
+	if e.sig.HasByRef() {
+		return fmt.Errorf("%w: %s", ErrAsyncByRef, e.name)
+	}
+	e.d.cpu.Begin(vtime.AccountEvents)
+	e.d.spawn(e.sig.Arity(), func() {
+		_, _ = e.raiseSync(args)
+	})
+	e.d.cpu.End()
+	return nil
+}
+
+func (e *Event) raiseSync(args []any) (result any, err error) {
+	if err := e.checkArgs(args); err != nil {
+		return nil, err
+	}
+	e.raised.Add(1)
+	defer func() {
+		// The purity monitor reports a mutating FUNCTIONAL guard by
+		// panicking inside plan execution; surface it as an error at
+		// the raise point.
+		if r := recover(); r != nil {
+			if r == ErrGuardMutatedArgs {
+				result, err = nil, fmt.Errorf("%w: event %s", ErrGuardMutatedArgs, e.name)
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	plan := e.plan.Load()
+	env := &codegen.Env{
+		CPU:   e.d.cpu,
+		Spawn: e.d.spawn,
+		RunEphemeral: func(tag any, invoke func() any) (any, bool) {
+			b, _ := tag.(*Binding)
+			var deadline = DefaultEphemeralDeadline
+			if b != nil && b.ephemeralDeadline > 0 {
+				deadline = b.ephemeralDeadline
+			}
+			return e.d.runEphemeral(tag, deadline, invoke)
+		},
+		OnFire: func(tag any) {
+			e.firedTotal.Add(1)
+			if b, ok := tag.(*Binding); ok && b != nil {
+				b.fired.Add(1)
+			}
+		},
+	}
+
+	cpu := e.d.cpu
+	cpu.Begin(vtime.AccountEvents)
+	start := cpu.Now()
+	out := plan.Execute(env, args)
+	if cpu != nil {
+		e.timeNanos.Add(int64(cpu.Now().Sub(start)))
+	}
+	cpu.End()
+
+	if out.Fired == 0 && !out.UsedDefault {
+		return nil, fmt.Errorf("%w: %s", ErrNoHandler, e.name)
+	}
+	if out.Ambiguous {
+		return out.Result, fmt.Errorf("%w: %s", ErrAmbiguousResult, e.name)
+	}
+	return out.Result, nil
+}
+
+// checkArgs validates the raise argument vector: arity always, dynamic
+// types when the dispatcher runs with purity checking (the stand-in for
+// Modula-3's static call-site checking, which the typed spin wrappers
+// restore at compile time).
+func (e *Event) checkArgs(args []any) error {
+	if len(args) != e.sig.Arity() {
+		return fmt.Errorf("%w: event %s got %d, want %d", ErrBadArity, e.name, len(args), e.sig.Arity())
+	}
+	if e.d.purity {
+		for i, a := range args {
+			if !e.sig.Args[i].AssignableFrom(rtti.TypeOf(a)) {
+				return fmt.Errorf("%w: event %s arg %d: %v not assignable to %v",
+					ErrBadArgType, e.name, i, rtti.TypeOf(a), e.sig.Args[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Stats is a snapshot of an event's dispatch statistics, the data behind
+// Table 3.
+type Stats struct {
+	// Raised counts raises of the event.
+	Raised int64
+	// Fired counts handler invocations (across all handlers).
+	Fired int64
+	// Time is the cumulative virtual time spent handling the event
+	// (dispatch plus handler bodies), in metered configurations.
+	Time vtime.Duration
+	// Handlers and Guards count currently installed handlers and guards
+	// (installer plus imposed), as reported in Table 3's last columns.
+	Handlers int
+	Guards   int
+}
+
+// Stats returns a snapshot of the event's statistics.
+func (e *Event) Stats() Stats {
+	e.mu.Lock()
+	handlers := len(e.bindings)
+	guards := 0
+	for _, b := range e.bindings {
+		guards += b.countGuards()
+	}
+	e.mu.Unlock()
+	return Stats{
+		Raised:   e.raised.Load(),
+		Fired:    e.firedTotal.Load(),
+		Time:     vtime.Duration(e.timeNanos.Load()),
+		Handlers: handlers,
+		Guards:   guards,
+	}
+}

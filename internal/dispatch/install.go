@@ -1,0 +1,336 @@
+package dispatch
+
+import (
+	"fmt"
+	"time"
+
+	"spin/internal/rtti"
+)
+
+// DefaultEphemeralDeadline bounds EPHEMERAL handler execution when the
+// installer does not specify a deadline. The paper leaves the period to the
+// event's authority; 10ms of real time is generous for handlers that are
+// expected to "return quickly".
+const DefaultEphemeralDeadline = 10 * time.Millisecond
+
+// InstallOption configures a handler installation.
+type InstallOption func(*installCfg) error
+
+type installCfg struct {
+	guards     []Guard
+	closure    any
+	hasClosure bool
+	order      Order
+	async      bool
+	ephemeral  bool
+	deadline   time.Duration
+	filter     bool
+	credential any
+}
+
+// WithGuard attaches a guard predicate to the installation; the handler
+// fires only if every attached guard evaluates true. May be repeated.
+func WithGuard(g Guard) InstallOption {
+	return func(c *installCfg) error {
+		c.guards = append(c.guards, g)
+		return nil
+	}
+}
+
+// WithClosure attaches an opaque closure, passed as the handler's leading
+// argument at each invocation (§2.1).
+func WithClosure(closure any) InstallOption {
+	return func(c *installCfg) error {
+		c.closure = closure
+		c.hasClosure = true
+		return nil
+	}
+}
+
+// First places the handler at the beginning of the handler list at
+// installation time.
+func First() InstallOption {
+	return func(c *installCfg) error { c.order = Order{Kind: OrderFirst}; return nil }
+}
+
+// Last places the handler at the end of the handler list at installation
+// time.
+func Last() InstallOption {
+	return func(c *installCfg) error { c.order = Order{Kind: OrderLast}; return nil }
+}
+
+// Before places the handler immediately before ref.
+func Before(ref *Binding) InstallOption {
+	return func(c *installCfg) error { c.order = Order{Kind: OrderBefore, Ref: ref}; return nil }
+}
+
+// After places the handler immediately after ref.
+func After(ref *Binding) InstallOption {
+	return func(c *installCfg) error { c.order = Order{Kind: OrderAfter, Ref: ref}; return nil }
+}
+
+// Async makes this handler execute asynchronously on each firing; the
+// raiser does not wait for it and its result is not returned (§2.6).
+func Async() InstallOption {
+	return func(c *installCfg) error { c.async = true; return nil }
+}
+
+// Ephemeral installs the handler as terminable with the given real-time
+// deadline (zero selects DefaultEphemeralDeadline). The handler's
+// procedure must be declared EPHEMERAL (§2.6).
+func Ephemeral(deadline time.Duration) InstallOption {
+	return func(c *installCfg) error {
+		c.ephemeral = true
+		c.deadline = deadline
+		return nil
+	}
+}
+
+// AsFilter installs the handler as a filter: it may take parameters by
+// reference and rewrite the argument values seen by handlers and guards
+// ordered after it (§2.3 "Passing arguments").
+func AsFilter() InstallOption {
+	return func(c *installCfg) error { c.filter = true; return nil }
+}
+
+// WithCredential attaches an opaque reference that is passed to the
+// event's authorizer, bootstrapping richer authorization protocols such as
+// password-based ones (§2.5).
+func WithCredential(cred any) InstallOption {
+	return func(c *installCfg) error { c.credential = cred; return nil }
+}
+
+// checkHandlerImpl validates that a handler has an implementation and a
+// descriptor.
+func checkHandlerImpl(h Handler) error {
+	if h.Fn == nil && h.Inline == nil {
+		return ErrNilHandler
+	}
+	if h.Proc == nil {
+		return rtti.ErrNilProc
+	}
+	return nil
+}
+
+// checkGuard validates one guard against the event signature.
+func (e *Event) checkGuard(g Guard) error {
+	if g.Pred != nil {
+		return nil // predicates are FUNCTIONAL by construction
+	}
+	if g.Fn == nil {
+		return fmt.Errorf("dispatch: guard on %s has no implementation", e.name)
+	}
+	if g.Proc == nil {
+		return fmt.Errorf("%w: out-of-line guard on %s requires a descriptor", rtti.ErrNilProc, e.name)
+	}
+	var cloType rtti.Type
+	if g.Closure != nil {
+		cloType = rtti.TypeOf(g.Closure)
+	}
+	return g.Proc.CheckGuard(e.sig, cloType)
+}
+
+// Install registers h as a handler on the event (§2.2's
+// Dispatcher.InstallHandler). The installation is typechecked, submitted
+// to the event's authorizer, inserted according to its ordering
+// constraint, and the event's dispatch code is regenerated.
+func (e *Event) Install(h Handler, opts ...InstallOption) (*Binding, error) {
+	var cfg installCfg
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := checkHandlerImpl(h); err != nil {
+		return nil, err
+	}
+
+	// Typechecking (§2.4): handler signature must match the event's,
+	// with an optional leading closure parameter accepting the closure's
+	// type.
+	var cloType rtti.Type
+	if cfg.hasClosure {
+		cloType = rtti.TypeOf(cfg.closure)
+	}
+	if err := h.Proc.CheckHandler(e.sig, cloType); err != nil {
+		return nil, err
+	}
+	for _, g := range cfg.guards {
+		if err := e.checkGuard(g); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ephemeral && !h.Proc.Ephemeral {
+		return nil, fmt.Errorf("%w: %s", ErrNotEphemeralProc, h.Proc.Name)
+	}
+	if cfg.async && e.sig.HasByRef() {
+		return nil, fmt.Errorf("%w: handler %s", ErrAsyncByRef, h.Proc.Name)
+	}
+	if cfg.filter && cfg.async {
+		return nil, fmt.Errorf("%w: filter %s cannot be asynchronous", ErrAsyncByRef, h.Proc.Name)
+	}
+
+	b := &Binding{
+		event:             e,
+		handler:           h,
+		closure:           cfg.closure,
+		guards:            cfg.guards,
+		order:             cfg.order,
+		async:             cfg.async,
+		ephemeral:         cfg.ephemeral,
+		ephemeralDeadline: cfg.deadline,
+		filter:            cfg.filter,
+		credential:        cfg.credential,
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Resource accounting (§2.6 "Too many handlers"): the installation
+	// is charged to the installing module before the authorizer sees it.
+	if err := e.d.quota.charge(b.Installer()); err != nil {
+		return nil, err
+	}
+	if err := e.authorizeLocked(OpInstall, b); err != nil {
+		e.d.quota.release(b.Installer())
+		return nil, err
+	}
+	if err := e.insertLocked(b); err != nil {
+		e.d.quota.release(b.Installer())
+		return nil, err
+	}
+	b.installed = true
+	e.recompile(true)
+	return b, nil
+}
+
+// insertLocked places b into the handler list per its ordering constraint.
+func (e *Event) insertLocked(b *Binding) error {
+	switch b.order.Kind {
+	case OrderFirst:
+		e.bindings = append([]*Binding{b}, e.bindings...)
+	case Unordered, OrderLast:
+		e.bindings = append(e.bindings, b)
+	case OrderBefore, OrderAfter:
+		ref := b.order.Ref
+		if ref == nil || ref.event != e {
+			return fmt.Errorf("%w: event %s", ErrOrderRef, e.name)
+		}
+		i := e.positionLocked(ref)
+		if i < 0 {
+			return fmt.Errorf("%w: reference binding removed from %s", ErrOrderRef, e.name)
+		}
+		if b.order.Kind == OrderAfter {
+			i++
+		}
+		e.bindings = append(e.bindings, nil)
+		copy(e.bindings[i+1:], e.bindings[i:])
+		e.bindings[i] = b
+	default:
+		return fmt.Errorf("dispatch: unknown ordering constraint %v", b.order.Kind)
+	}
+	return nil
+}
+
+// Uninstall removes a binding from its event. Removing the intrinsic
+// binding is the paper's idiom for replacing a procedure's implementation:
+// deregister the intrinsic handler, then register an alternate one (§2.1).
+func (e *Event) Uninstall(b *Binding) error {
+	if b == nil || b.event != e {
+		return ErrNotInstalled
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !b.installed {
+		return ErrNotInstalled
+	}
+	if err := e.authorizeLocked(OpUninstall, b); err != nil {
+		return err
+	}
+	i := e.positionLocked(b)
+	if i < 0 {
+		return ErrNotInstalled
+	}
+	e.bindings = append(e.bindings[:i], e.bindings[i+1:]...)
+	b.installed = false
+	if !b.intrinsic {
+		e.d.quota.release(b.Installer())
+	}
+	e.recompile(true)
+	return nil
+}
+
+// SetOrder dynamically changes a binding's ordering constraint and
+// repositions it (§2.3: "the dispatcher allows the ordering constraints
+// associated with a given handler to be queried and dynamically changed").
+func (e *Event) SetOrder(b *Binding, o Order) error {
+	if b == nil || b.event != e {
+		return ErrNotInstalled
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !b.installed {
+		return ErrNotInstalled
+	}
+	if (o.Kind == OrderBefore || o.Kind == OrderAfter) && o.Ref == b {
+		return fmt.Errorf("%w: binding ordered against itself", ErrOrderRef)
+	}
+	i := e.positionLocked(b)
+	if i < 0 {
+		return ErrNotInstalled
+	}
+	e.bindings = append(e.bindings[:i], e.bindings[i+1:]...)
+	b.order = o
+	if err := e.insertLocked(b); err != nil {
+		// Restore the previous position on failure.
+		e.bindings = append(e.bindings, nil)
+		copy(e.bindings[i+1:], e.bindings[i:])
+		e.bindings[i] = b
+		return err
+	}
+	e.recompile(true)
+	return nil
+}
+
+// SetDefaultHandler installs the handler that executes only when no other
+// handler fires (§2.3). Passing a Handler with a nil Fn and nil Inline
+// clears the default handler. The operation is submitted to the event's
+// authorizer.
+func (e *Event) SetDefaultHandler(h Handler) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if h.Fn == nil && h.Inline == nil {
+		if err := e.authorizeLocked(OpSetDefault, nil); err != nil {
+			return err
+		}
+		e.defaultB = nil
+		e.recompile(true)
+		return nil
+	}
+	if err := checkHandlerImpl(h); err != nil {
+		return err
+	}
+	if err := h.Proc.CheckHandler(e.sig, nil); err != nil {
+		return err
+	}
+	b := &Binding{event: e, handler: h, isDefault: true, installed: true}
+	if err := e.authorizeLocked(OpSetDefault, b); err != nil {
+		return err
+	}
+	e.defaultB = b
+	e.recompile(true)
+	return nil
+}
+
+// SetResultHandler installs the function that merges multiple handler
+// results; it is called separately for each result (§2.3 "Handling
+// results"). A nil fn clears it.
+func (e *Event) SetResultHandler(fn ResultFn) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.authorizeLocked(OpSetResult, nil); err != nil {
+		return err
+	}
+	e.resultFn = fn
+	e.recompile(true)
+	return nil
+}

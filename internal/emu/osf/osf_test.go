@@ -1,0 +1,426 @@
+package osf
+
+import (
+	"testing"
+
+	"spin/internal/fs"
+	"spin/internal/kernel"
+	"spin/internal/netstack"
+	"spin/internal/netwire"
+	"spin/internal/sched"
+)
+
+// rig boots two machines with stacks and loads the OSF emulator on A.
+type rig struct {
+	a, b   *kernel.Machine
+	sa, sb *netstack.Stack
+	fsA    *fs.FS
+	emu    *Emulator
+}
+
+func boot(t *testing.T) *rig {
+	t.Helper()
+	a, err := kernel.Boot(kernel.Config{Name: "a", Metered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := kernel.Boot(kernel.Config{Name: "b", ShareWith: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := netwire.NewLink(a.Sim, 0, 0)
+	nicA, _ := link.Attach("mac-a")
+	nicB, _ := link.Attach("mac-b")
+	arp := map[string]string{"10.0.0.1": "mac-a", "10.0.0.2": "mac-b"}
+	sa, err := netstack.New(netstack.Config{Dispatcher: a.Dispatcher, CPU: a.CPU,
+		Sched: a.Sched, NIC: nicA, IP: "10.0.0.1", ARP: arp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := netstack.New(netstack.Config{Dispatcher: b.Dispatcher, CPU: b.CPU,
+		Sched: b.Sched, NIC: nicB, IP: "10.0.0.2", ARP: arp, Prefix: "B:"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsA, err := fs.New(a.Dispatcher, a.CPU, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	emu := New(a.Trap, sa, fsA)
+	if _, err := a.LoadExtension(emu.Image()); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{a: a, b: b, sa: sa, sb: sb, fsA: fsA, emu: emu}
+}
+
+func (r *rig) task(t *testing.T) *sched.Strand {
+	st := r.a.Sched.Spawn("osf-task", 1, func(*sched.Strand) sched.Status { return sched.Done })
+	r.emu.Attach(st, r.a.VM.NewSpace())
+	return st
+}
+
+func TestGetPID(t *testing.T) {
+	r := boot(t)
+	st := r.task(t)
+	pid, errno := r.emu.Sys(st, SysGetPID, nil)
+	if errno != ESUCCESS || pid != st.ID() {
+		t.Fatalf("pid=%d errno=%d", pid, errno)
+	}
+	if r.emu.Syscalls != 1 {
+		t.Fatalf("syscalls = %d", r.emu.Syscalls)
+	}
+}
+
+func TestFileSyscalls(t *testing.T) {
+	r := boot(t)
+	st := r.task(t)
+	r.fsA.Put("/etc/fonts.dir", []byte("fixed.fon"))
+
+	fd, errno := r.emu.Sys(st, SysOpen, &Extra{Str: "/etc/fonts.dir"})
+	if errno != ESUCCESS {
+		t.Fatalf("open errno = %d", errno)
+	}
+	ex := &Extra{}
+	n, errno := r.emu.Sys(st, SysRead, ex, fd, 100)
+	if errno != ESUCCESS || string(ex.Out) != "fixed.fon" || n != 9 {
+		t.Fatalf("read = %q n=%d errno=%d", ex.Out, n, errno)
+	}
+	if _, errno := r.emu.Sys(st, SysWrite, &Extra{Buf: []byte(" extra")}, fd); errno != ESUCCESS {
+		t.Fatalf("write errno = %d", errno)
+	}
+	if _, errno := r.emu.Sys(st, SysClose, nil, fd); errno != ESUCCESS {
+		t.Fatalf("close errno = %d", errno)
+	}
+	if got, _ := r.fsA.Get("/etc/fonts.dir"); string(got) != "fixed.fon extra" {
+		t.Fatalf("content = %q", got)
+	}
+	// Bad fd after close.
+	if _, errno := r.emu.Sys(st, SysRead, &Extra{}, fd, 1); errno != EBADF {
+		t.Fatalf("errno = %d", errno)
+	}
+}
+
+func TestUDPSyscalls(t *testing.T) {
+	r := boot(t)
+	st := r.task(t)
+	fd, errno := r.emu.Sys(st, SysSocket, nil, SockDgram)
+	if errno != ESUCCESS {
+		t.Fatal("socket failed")
+	}
+	if _, errno := r.emu.Sys(st, SysBind, nil, fd, 53); errno != ESUCCESS {
+		t.Fatal("bind failed")
+	}
+	// Nothing pending yet.
+	if _, errno := r.emu.Sys(st, SysRecvFrom, &Extra{}, fd); errno != EWOULDBLOCK {
+		t.Fatalf("errno = %d", errno)
+	}
+	// Peer sends a datagram.
+	peer, _ := r.sb.BindUDP(5000)
+	_ = peer.Send("10.0.0.1", 53, []byte("query"))
+	r.a.Sim.Run(0)
+	ex := &Extra{}
+	n, errno := r.emu.Sys(st, SysRecvFrom, ex, fd)
+	if errno != ESUCCESS || n != 5 || string(ex.Out) != "query" {
+		t.Fatalf("recvfrom = %q errno=%d", ex.Out, errno)
+	}
+	// Reply.
+	if _, errno := r.emu.Sys(st, SysSendTo, &Extra{Addr: ex.Pkt.SrcIP, Buf: []byte("answer")}, fd, uint64(ex.Pkt.SrcPort)); errno != ESUCCESS {
+		t.Fatal("sendto failed")
+	}
+	r.a.Sim.Run(0)
+	got, ok := peer.Recv()
+	if !ok || string(got.Payload) != "answer" {
+		t.Fatalf("peer got %v", got)
+	}
+}
+
+func TestTCPServerSyscallsAndPortEvents(t *testing.T) {
+	r := boot(t)
+	st := r.task(t)
+
+	// socket/bind/listen: listen raises OsfNet.AddTcpPortHandler.
+	fd, _ := r.emu.Sys(st, SysSocket, nil, SockStream)
+	if _, errno := r.emu.Sys(st, SysBind, nil, fd, 6000); errno != ESUCCESS {
+		t.Fatal("bind failed")
+	}
+	if _, errno := r.emu.Sys(st, SysListen, nil, fd); errno != ESUCCESS {
+		t.Fatal("listen failed")
+	}
+	if got := r.emu.AddTcpPortHandler.Stats().Raised; got != 1 {
+		t.Fatalf("AddTcpPortHandler raised = %d", got)
+	}
+
+	// Nothing to accept yet.
+	if _, errno := r.emu.Sys(st, SysAccept, nil, fd); errno != EWOULDBLOCK {
+		t.Fatal("phantom accept")
+	}
+
+	// Peer dials in and sends data.
+	conn, err := r.sb.DialTCP("10.0.0.1", 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.a.Sim.Run(0)
+	cfd, errno := r.emu.Sys(st, SysAccept, nil, fd)
+	if errno != ESUCCESS {
+		t.Fatalf("accept errno = %d", errno)
+	}
+	if !conn.Established() {
+		t.Fatal("handshake incomplete")
+	}
+	_ = conn.Send([]byte("XOpenDisplay"))
+	r.a.Sim.Run(0)
+	ex := &Extra{}
+	n, errno := r.emu.Sys(st, SysRead, ex, cfd, 1024)
+	if errno != ESUCCESS || string(ex.Out) != "XOpenDisplay" || n != 12 {
+		t.Fatalf("read = %q errno=%d", ex.Out, errno)
+	}
+	// Server replies through write.
+	if _, errno := r.emu.Sys(st, SysWrite, &Extra{Buf: []byte("ok")}, cfd); errno != ESUCCESS {
+		t.Fatal("write failed")
+	}
+	r.a.Sim.Run(0)
+	if d, ok := conn.Recv(); !ok || string(d) != "ok" {
+		t.Fatalf("peer got %q", d)
+	}
+
+	// The OsfNet TCP watcher saw the inbound packets on the owned port.
+	if r.emu.TcpWatched == 0 {
+		t.Fatal("TCP port watcher never fired")
+	}
+
+	// Closing the listener raises DelTcpPortHandler.
+	if _, errno := r.emu.Sys(st, SysClose, nil, fd); errno != ESUCCESS {
+		t.Fatal("close failed")
+	}
+	if got := r.emu.DelTcpPortHandler.Stats().Raised; got != 1 {
+		t.Fatalf("DelTcpPortHandler raised = %d", got)
+	}
+}
+
+func TestSelectRaisesEventNotify(t *testing.T) {
+	r := boot(t)
+	st := r.task(t)
+	fd, _ := r.emu.Sys(st, SysSocket, nil, SockDgram)
+	_, _ = r.emu.Sys(st, SysBind, nil, fd, 53)
+
+	mask, errno := r.emu.Sys(st, SysSelect, nil, fd)
+	if errno != ESUCCESS || mask != 0 {
+		t.Fatalf("select = %#x errno=%d", mask, errno)
+	}
+	peer, _ := r.sb.BindUDP(5000)
+	_ = peer.Send("10.0.0.1", 53, []byte("x"))
+	r.a.Sim.Run(0)
+	mask, _ = r.emu.Sys(st, SysSelect, nil, fd)
+	if mask != 1 {
+		t.Fatalf("select after delivery = %#x", mask)
+	}
+	if got := r.emu.EventNotify.Stats().Raised; got != 2 {
+		t.Fatalf("EventNotify raised = %d", got)
+	}
+}
+
+func TestSyscallFromNonTaskIsUnhandled(t *testing.T) {
+	r := boot(t)
+	st := r.a.Sched.Spawn("stranger", 1, func(*sched.Strand) sched.Status { return sched.Done })
+	if _, errno := r.emu.Sys(st, SysGetPID, nil); errno != ENOSYS {
+		t.Fatalf("errno = %d", errno)
+	}
+	if r.emu.Syscalls != 0 {
+		t.Fatal("emulator handled a stranger's syscall")
+	}
+}
+
+func TestUnknownSyscall(t *testing.T) {
+	r := boot(t)
+	st := r.task(t)
+	if _, errno := r.emu.Sys(st, 9999, nil); errno != ENOSYS {
+		t.Fatalf("errno = %d", errno)
+	}
+}
+
+func TestAwaitReadable(t *testing.T) {
+	r := boot(t)
+	received := ""
+	var emuTask *Task
+	serverDone := false
+	st := r.a.Sched.Spawn("server", 1, func(st *sched.Strand) sched.Status {
+		if emuTask == nil {
+			t.Fatal("task not attached")
+		}
+		fd := uint64(3) // first allocated descriptor
+		ex := &Extra{}
+		n, errno := r.emu.Sys(st, SysRecvFrom, ex, fd)
+		if errno == EWOULDBLOCK {
+			if err := r.emu.AwaitReadable(st, fd); err != nil {
+				t.Error(err)
+				return sched.Done
+			}
+			return sched.Block
+		}
+		if errno == ESUCCESS && n > 0 {
+			received = string(ex.Out)
+			serverDone = true
+		}
+		return sched.Done
+	})
+	emuTask = r.emu.Attach(st, r.a.VM.NewSpace())
+	// Bind the socket before the strand first runs.
+	fd, _ := r.emu.Sys(st, SysSocket, nil, SockDgram)
+	if fd != 3 {
+		t.Fatalf("fd = %d", fd)
+	}
+	_, _ = r.emu.Sys(st, SysBind, nil, fd, 53)
+
+	peer, _ := r.sb.BindUDP(5000)
+	r.b.Sched.Spawn("peer", 1, func(st *sched.Strand) sched.Status {
+		_ = peer.Send("10.0.0.1", 53, []byte("wake-up"))
+		return sched.Done
+	})
+	r.a.Sim.Run(0)
+	if !serverDone || received != "wake-up" {
+		t.Fatalf("received = %q done=%v", received, serverDone)
+	}
+}
+
+// TestSyscallErrorPaths sweeps the emulator's failure branches: bad
+// descriptors, wrong descriptor kinds, and missing side-channel buffers.
+func TestSyscallErrorPaths(t *testing.T) {
+	r := boot(t)
+	st := r.task(t)
+
+	// Bad descriptors everywhere.
+	for _, num := range []uint64{SysClose, SysRead, SysWrite, SysBind,
+		SysListen, SysAccept, SysConnect, SysRecvFrom, SysSendTo} {
+		if _, errno := r.emu.Sys(st, num, &Extra{Buf: []byte("x"), Addr: "10.0.0.2"}, 999); errno != EBADF {
+			t.Errorf("syscall %d on bad fd: errno = %d, want EBADF", num, errno)
+		}
+	}
+
+	// Socket with an unknown type.
+	if _, errno := r.emu.Sys(st, SysSocket, nil, 77); errno != EINVAL {
+		t.Errorf("bad socket type errno = %d", errno)
+	}
+
+	// A TCP socket is not a UDP socket.
+	tcpFD, _ := r.emu.Sys(st, SysSocket, nil, SockStream)
+	if _, errno := r.emu.Sys(st, SysRecvFrom, &Extra{}, tcpFD); errno != EBADF {
+		t.Errorf("recvfrom on tcp fd errno = %d", errno)
+	}
+	if _, errno := r.emu.Sys(st, SysSendTo, &Extra{Buf: []byte("x"), Addr: "10.0.0.2"}, tcpFD, 7); errno != EBADF {
+		t.Errorf("sendto on tcp fd errno = %d", errno)
+	}
+	// Listen before bind.
+	if _, errno := r.emu.Sys(st, SysListen, nil, tcpFD); errno != EBADF {
+		t.Errorf("listen before bind errno = %d", errno)
+	}
+	// Accept on a non-listener.
+	if _, errno := r.emu.Sys(st, SysAccept, nil, tcpFD); errno != EBADF {
+		t.Errorf("accept on conn fd errno = %d", errno)
+	}
+	// Write with no buffer side channel.
+	fileFD, _ := r.emu.Sys(st, SysOpen, &Extra{Str: "/tmp/x"})
+	if _, errno := r.emu.Sys(st, SysWrite, nil, fileFD); errno != EINVAL {
+		t.Errorf("write without extra errno = %d", errno)
+	}
+	// Read on a UDP fd (not a stream).
+	udpFD, _ := r.emu.Sys(st, SysSocket, nil, SockDgram)
+	if _, errno := r.emu.Sys(st, SysRead, &Extra{}, udpFD, 10); errno != EINVAL {
+		t.Errorf("read on udp fd errno = %d", errno)
+	}
+	// Open without a string.
+	if _, errno := r.emu.Sys(st, SysOpen, nil); errno != EINVAL {
+		t.Errorf("open without extra errno = %d", errno)
+	}
+	// Connect without an address.
+	fd2, _ := r.emu.Sys(st, SysSocket, nil, SockStream)
+	if _, errno := r.emu.Sys(st, SysConnect, nil, fd2, 80); errno != EBADF {
+		t.Errorf("connect without extra errno = %d", errno)
+	}
+	// Bind a UDP port twice (conflict surfaces as EINVAL).
+	u1, _ := r.emu.Sys(st, SysSocket, nil, SockDgram)
+	u2, _ := r.emu.Sys(st, SysSocket, nil, SockDgram)
+	if _, errno := r.emu.Sys(st, SysBind, nil, u1, 99); errno != ESUCCESS {
+		t.Fatalf("first bind failed")
+	}
+	if _, errno := r.emu.Sys(st, SysBind, nil, u2, 99); errno != EINVAL {
+		t.Errorf("conflicting bind errno = %d", errno)
+	}
+	// Bind on a file descriptor.
+	if _, errno := r.emu.Sys(st, SysBind, nil, fileFD, 100); errno != EINVAL {
+		t.Errorf("bind on file fd errno = %d", errno)
+	}
+}
+
+func TestConnectSyscall(t *testing.T) {
+	r := boot(t)
+	st := r.task(t)
+	lst, err := r.sb.ListenTCP(7777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, _ := r.emu.Sys(st, SysSocket, nil, SockStream)
+	if _, errno := r.emu.Sys(st, SysConnect, &Extra{Addr: "10.0.0.2"}, fd, 7777); errno != ESUCCESS {
+		t.Fatalf("connect errno = %d", errno)
+	}
+	r.a.Sim.Run(0)
+	if _, ok := lst.Accept(); !ok {
+		t.Fatal("server never saw the connection")
+	}
+	conn, ok := r.emu.ConnOf(st, fd)
+	if !ok || !conn.Established() {
+		t.Fatal("client connection not established")
+	}
+	// write/read over the connected socket.
+	if _, errno := r.emu.Sys(st, SysWrite, &Extra{Buf: []byte("hi")}, fd); errno != ESUCCESS {
+		t.Fatal("write failed")
+	}
+}
+
+func TestConnOfAndAwaitErrors(t *testing.T) {
+	r := boot(t)
+	st := r.task(t)
+	if _, ok := r.emu.ConnOf(st, 999); ok {
+		t.Fatal("ConnOf on bad fd")
+	}
+	stranger := r.a.Sched.Spawn("x", 0, func(*sched.Strand) sched.Status { return sched.Done })
+	if _, ok := r.emu.ConnOf(stranger, 3); ok {
+		t.Fatal("ConnOf on non-task strand")
+	}
+	if err := r.emu.AwaitReadable(stranger, 3); err == nil {
+		t.Fatal("AwaitReadable on non-task strand")
+	}
+	if err := r.emu.AwaitReadable(st, 999); err == nil {
+		t.Fatal("AwaitReadable on bad fd")
+	}
+	fileFD, _ := r.emu.Sys(st, SysOpen, &Extra{Str: "/f"})
+	if err := r.emu.AwaitReadable(st, fileFD); err == nil {
+		t.Fatal("AwaitReadable on file fd")
+	}
+}
+
+func TestSelectOnListenerAndConn(t *testing.T) {
+	r := boot(t)
+	st := r.task(t)
+	fd, _ := r.emu.Sys(st, SysSocket, nil, SockStream)
+	_, _ = r.emu.Sys(st, SysBind, nil, fd, 6000)
+	_, _ = r.emu.Sys(st, SysListen, nil, fd)
+	mask, _ := r.emu.Sys(st, SysSelect, nil, fd)
+	if mask != 0 {
+		t.Fatalf("idle listener readable: %#x", mask)
+	}
+	_, _ = r.sb.DialTCP("10.0.0.1", 6000)
+	r.a.Sim.Run(0)
+	mask, _ = r.emu.Sys(st, SysSelect, nil, fd)
+	if mask != 1 {
+		t.Fatalf("pending listener mask = %#x", mask)
+	}
+	cfd, errno := r.emu.Sys(st, SysAccept, nil, fd)
+	if errno != ESUCCESS {
+		t.Fatal("accept failed")
+	}
+	mask, _ = r.emu.Sys(st, SysSelect, nil, cfd)
+	if mask != 0 {
+		t.Fatalf("idle conn readable: %#x", mask)
+	}
+}

@@ -1,0 +1,306 @@
+// Package httpd is an in-kernel web server extension. The paper's §3
+// inventory lists "a collection of integrated applications, including a
+// distributed transaction system and a web server", and its conclusion
+// points at "an Alpha workstation running SPIN with a WEB server
+// extension" serving the project's home page. This package is that
+// extension: a minimal HTTP/1.0 server running as strands over the
+// netstack substrate, serving files from the fs substrate — and, being a
+// SPIN extension, exposing its own request processing as an event that
+// other extensions interpose on:
+//
+//	Httpd.Request(path: TEXT): Httpd.Response
+//
+// The intrinsic handler resolves the path against the file system.
+// Filters rewrite paths (the MS-DOS filter composes here unchanged);
+// guarded handlers serve dynamic routes; the event's default handler
+// produces 404s. Access logging installs as a Last handler without
+// touching the server.
+package httpd
+
+import (
+	"fmt"
+	"strings"
+
+	"spin/internal/dispatch"
+	"spin/internal/fs"
+	"spin/internal/netstack"
+	"spin/internal/rtti"
+	"spin/internal/sched"
+)
+
+// Module is the web server's module descriptor, authority over
+// Httpd.Request.
+var Module = rtti.NewModule("Httpd", "Httpd")
+
+// ResponseType is the rtti type of HTTP responses.
+var ResponseType = rtti.NewRef("Httpd.Response", nil)
+
+// Response is what request handlers produce.
+type Response struct {
+	Status int
+	Body   []byte
+}
+
+// RTTIType implements rtti.Described.
+func (r *Response) RTTIType() rtti.Type { return ResponseType }
+
+// statusText maps the status codes the server produces.
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	}
+	return "Internal Server Error"
+}
+
+// Config assembles a server.
+type Config struct {
+	Stack *netstack.Stack
+	FS    *fs.FS
+	Sched *sched.Scheduler
+	// Port defaults to 80.
+	Port uint16
+	// DocRoot prefixes request paths in the file system; defaults to
+	// "/www".
+	DocRoot string
+	// Prefix namespaces the event name, like the other substrates.
+	Prefix string
+}
+
+// Server is a running web server extension.
+type Server struct {
+	stack   *netstack.Stack
+	fsys    *fs.FS
+	sched   *sched.Scheduler
+	port    uint16
+	docRoot string
+
+	// Request is the Httpd.Request event: raised once per parsed HTTP
+	// request, with the URL path as its argument.
+	Request *dispatch.Event
+
+	listener *netstack.TCPListener
+	acceptor *sched.Strand
+
+	// Served counts completed responses by status.
+	Served   int64
+	NotFound int64
+	BadReqs  int64
+}
+
+// New defines the Httpd.Request event and starts the accept loop. The
+// server serves until its listener is closed.
+func New(d *dispatch.Dispatcher, cfg Config) (*Server, error) {
+	s := &Server{stack: cfg.Stack, fsys: cfg.FS, sched: cfg.Sched,
+		port: cfg.Port, docRoot: cfg.DocRoot}
+	if s.port == 0 {
+		s.port = 80
+	}
+	if s.docRoot == "" {
+		s.docRoot = "/www"
+	}
+
+	sig := rtti.Signature{Args: []rtti.Type{rtti.Text}, Result: ResponseType}
+	ev, err := d.DefineEvent(cfg.Prefix+"Httpd.Request", sig,
+		dispatch.WithIntrinsic(dispatch.Handler{
+			Proc: &rtti.Proc{Name: "Httpd.Request", Module: Module, Sig: sig},
+			Fn:   s.intrinsicRequest,
+		}))
+	if err != nil {
+		return nil, err
+	}
+	s.Request = ev
+	// The default handler produces 404s when the intrinsic has been
+	// deregistered (an extension replaced file serving entirely) and
+	// nothing else claimed the request.
+	err = ev.SetDefaultHandler(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Httpd.Default", Module: Module, Sig: sig},
+		Fn: func(clo any, args []any) any {
+			return &Response{Status: 404, Body: []byte("not found\n")}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if s.listener, err = cfg.Stack.ListenTCP(s.port); err != nil {
+		return nil, err
+	}
+	s.acceptor = cfg.Sched.Spawn(fmt.Sprintf("httpd:%d", s.port), 0, s.acceptLoop)
+	return s, nil
+}
+
+// Close stops accepting connections.
+func (s *Server) Close() {
+	s.listener.Close()
+	s.sched.Kill(s.acceptor)
+}
+
+// intrinsicRequest is the native file-serving implementation.
+func (s *Server) intrinsicRequest(clo any, args []any) any {
+	path, _ := args[0].(string)
+	full := fs.Normalize(s.docRoot + "/" + strings.TrimPrefix(path, "/"))
+	if path == "/" {
+		full = fs.Normalize(s.docRoot + "/index.html")
+	}
+	body, ok := s.fsys.Get(full)
+	if !ok {
+		return &Response{Status: 404, Body: []byte("not found\n")}
+	}
+	return &Response{Status: 200, Body: body}
+}
+
+// acceptLoop accepts connections and spawns a strand per connection.
+func (s *Server) acceptLoop(st *sched.Strand) sched.Status {
+	for {
+		conn, ok := s.listener.Accept()
+		if !ok {
+			break
+		}
+		c := conn
+		s.sched.Spawn("httpd-conn", 0, s.connHandler(c))
+	}
+	s.listener.AwaitConn(st)
+	return sched.Block
+}
+
+// connHandler builds the per-connection strand body: accumulate request
+// bytes, answer each complete request, close on EOF.
+func (s *Server) connHandler(conn *netstack.TCPConn) sched.StepFunc {
+	var buf []byte
+	return func(st *sched.Strand) sched.Status {
+		for {
+			data, ok := conn.Recv()
+			if !ok {
+				break
+			}
+			buf = append(buf, data...)
+		}
+		// Serve every complete request line in the buffer.
+		for {
+			nl := strings.IndexByte(string(buf), '\n')
+			if nl < 0 {
+				break
+			}
+			line := strings.TrimRight(string(buf[:nl]), "\r")
+			buf = buf[nl+1:]
+			if line == "" {
+				continue // header terminator; headers are ignored
+			}
+			s.serve(conn, line)
+		}
+		if conn.EOF() {
+			_ = conn.Close()
+			return sched.Done
+		}
+		conn.AwaitData(st)
+		return sched.Block
+	}
+}
+
+// serve parses one request line, raises Httpd.Request, and writes the
+// response.
+func (s *Server) serve(conn *netstack.TCPConn, line string) {
+	parts := strings.Fields(line)
+	var resp *Response
+	if len(parts) < 2 || parts[0] != "GET" {
+		s.BadReqs++
+		resp = &Response{Status: 400, Body: []byte("bad request\n")}
+	} else {
+		res, err := s.Request.Raise(parts[1])
+		if err != nil {
+			resp = &Response{Status: 500, Body: []byte(err.Error() + "\n")}
+		} else if r, ok := res.(*Response); ok && r != nil {
+			resp = r
+		} else {
+			resp = &Response{Status: 500, Body: []byte("no response\n")}
+		}
+	}
+	if resp.Status == 404 {
+		s.NotFound++
+	}
+	s.Served++
+	head := fmt.Sprintf("HTTP/1.0 %d %s\r\nContent-Length: %d\r\n\r\n",
+		resp.Status, statusText(resp.Status), len(resp.Body))
+	_ = conn.Send(append([]byte(head), resp.Body...))
+}
+
+// RouteGuard builds a FUNCTIONAL guard matching requests whose path has
+// the given prefix, for dynamic-route handlers.
+func RouteGuard(prefix string) dispatch.Guard {
+	return dispatch.Guard{
+		Proc: &rtti.Proc{Name: "Httpd.RouteGuard", Module: Module, Functional: true,
+			Sig: rtti.Sig(rtti.Bool, rtti.Text)},
+		Fn: func(clo any, args []any) bool {
+			p, _ := args[0].(string)
+			return strings.HasPrefix(p, prefix)
+		},
+	}
+}
+
+// Client is a minimal HTTP/1.0 client for driving the server inside the
+// simulation (tests and examples).
+type Client struct {
+	conn *netstack.TCPConn
+	buf  []byte
+	// Responses collects parsed (status, body) pairs.
+	Responses []Response
+}
+
+// NewClient dials the server.
+func NewClient(stack *netstack.Stack, ip string, port uint16) (*Client, error) {
+	conn, err := stack.DialTCP(ip, port)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Conn exposes the underlying connection for strand wait registration.
+func (c *Client) Conn() *netstack.TCPConn { return c.conn }
+
+// Get sends one GET request.
+func (c *Client) Get(path string) error {
+	return c.conn.Send([]byte("GET " + path + " HTTP/1.0\r\n\r\n"))
+}
+
+// Pump consumes received bytes and parses any complete responses.
+func (c *Client) Pump() {
+	for {
+		data, ok := c.conn.Recv()
+		if !ok {
+			break
+		}
+		c.buf = append(c.buf, data...)
+	}
+	for {
+		s := string(c.buf)
+		headEnd := strings.Index(s, "\r\n\r\n")
+		if headEnd < 0 {
+			return
+		}
+		head := s[:headEnd]
+		var status, length int
+		if _, err := fmt.Sscanf(head, "HTTP/1.0 %d", &status); err != nil {
+			// Malformed: drop a byte to avoid livelock.
+			c.buf = c.buf[1:]
+			continue
+		}
+		for _, ln := range strings.Split(head, "\r\n") {
+			if strings.HasPrefix(ln, "Content-Length: ") {
+				_, _ = fmt.Sscanf(ln, "Content-Length: %d", &length)
+			}
+		}
+		total := headEnd + 4 + length
+		if len(c.buf) < total {
+			return
+		}
+		body := append([]byte(nil), c.buf[headEnd+4:total]...)
+		c.buf = c.buf[total:]
+		c.Responses = append(c.Responses, Response{Status: status, Body: body})
+	}
+}

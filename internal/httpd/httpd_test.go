@@ -1,0 +1,281 @@
+package httpd
+
+import (
+	"strings"
+	"testing"
+
+	"spin/internal/dispatch"
+	"spin/internal/fs"
+	"spin/internal/kernel"
+	"spin/internal/netstack"
+	"spin/internal/netwire"
+	"spin/internal/rtti"
+	"spin/internal/sched"
+)
+
+// rig: server machine A with httpd + fs, client machine B.
+type rig struct {
+	a, b   *kernel.Machine
+	sa, sb *netstack.Stack
+	fsA    *fs.FS
+	srv    *Server
+}
+
+func boot(t *testing.T) *rig {
+	t.Helper()
+	a, err := kernel.Boot(kernel.Config{Name: "a", Metered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := kernel.Boot(kernel.Config{Name: "b", ShareWith: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := netwire.NewLink(a.Sim, 0, 0)
+	nicA, _ := link.Attach("mac-a")
+	nicB, _ := link.Attach("mac-b")
+	arp := map[string]string{"10.0.0.1": "mac-a", "10.0.0.2": "mac-b"}
+	sa, err := netstack.New(netstack.Config{Dispatcher: a.Dispatcher, CPU: a.CPU,
+		Sched: a.Sched, NIC: nicA, IP: "10.0.0.1", ARP: arp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := netstack.New(netstack.Config{Dispatcher: b.Dispatcher, CPU: b.CPU,
+		Sched: b.Sched, NIC: nicB, IP: "10.0.0.2", ARP: arp, Prefix: "B:"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsA, err := fs.New(a.Dispatcher, a.CPU, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsA.Put("/www/index.html", []byte("<h1>SPIN</h1>"))
+	fsA.Put("/www/paper.ps", []byte("%!PS dynamic binding"))
+	srv, err := New(a.Dispatcher, Config{Stack: sa, FS: fsA, Sched: a.Sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{a: a, b: b, sa: sa, sb: sb, fsA: fsA, srv: srv}
+}
+
+// fetch drives a client strand through the given paths and returns the
+// parsed responses.
+func (r *rig) fetch(t *testing.T, paths ...string) []Response {
+	t.Helper()
+	client, err := NewClient(r.sb, "10.0.0.1", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := false
+	r.b.Sched.Spawn("client", 0, func(st *sched.Strand) sched.Status {
+		if !client.Conn().Established() {
+			client.Conn().AwaitEstablished(st)
+			return sched.Block
+		}
+		if !sent {
+			sent = true
+			for _, p := range paths {
+				if err := client.Get(p); err != nil {
+					t.Errorf("get %s: %v", p, err)
+				}
+			}
+		}
+		client.Pump()
+		if len(client.Responses) >= len(paths) {
+			_ = client.Conn().Close()
+			return sched.Done
+		}
+		client.Conn().AwaitData(st)
+		return sched.Block
+	})
+	r.a.Sim.Run(500000)
+	if len(client.Responses) != len(paths) {
+		t.Fatalf("got %d responses for %d requests", len(client.Responses), len(paths))
+	}
+	return client.Responses
+}
+
+func TestServeFile(t *testing.T) {
+	r := boot(t)
+	resp := r.fetch(t, "/paper.ps")
+	if resp[0].Status != 200 || string(resp[0].Body) != "%!PS dynamic binding" {
+		t.Fatalf("resp = %+v", resp[0])
+	}
+	if r.srv.Served != 1 {
+		t.Fatalf("served = %d", r.srv.Served)
+	}
+}
+
+func TestRootServesIndex(t *testing.T) {
+	r := boot(t)
+	resp := r.fetch(t, "/")
+	if resp[0].Status != 200 || !strings.Contains(string(resp[0].Body), "SPIN") {
+		t.Fatalf("resp = %+v", resp[0])
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	r := boot(t)
+	resp := r.fetch(t, "/missing.html")
+	if resp[0].Status != 404 {
+		t.Fatalf("status = %d", resp[0].Status)
+	}
+	if r.srv.NotFound != 1 {
+		t.Fatalf("notfound = %d", r.srv.NotFound)
+	}
+}
+
+func TestMultipleRequestsOneConnection(t *testing.T) {
+	r := boot(t)
+	resp := r.fetch(t, "/", "/paper.ps", "/nope")
+	if resp[0].Status != 200 || resp[1].Status != 200 || resp[2].Status != 404 {
+		t.Fatalf("statuses = %d %d %d", resp[0].Status, resp[1].Status, resp[2].Status)
+	}
+	if r.srv.Served != 3 {
+		t.Fatalf("served = %d", r.srv.Served)
+	}
+}
+
+func TestDynamicRouteHandlerWithGuard(t *testing.T) {
+	// A second extension serves /stats through a guarded handler on the
+	// same event — the server itself is untouched.
+	r := boot(t)
+	statsMod := rtti.NewModule("Stats")
+	sig := r.srv.Request.Signature()
+	_, err := r.srv.Request.Install(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Stats.Serve", Module: statsMod, Sig: sig},
+		Fn: func(clo any, args []any) any {
+			return &Response{Status: 200, Body: []byte("uptime: forever")}
+		},
+	}, dispatch.WithGuard(RouteGuard("/stats")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deregister the intrinsic for /stats? Not needed: the intrinsic
+	// also fires and returns 404 for the unknown path — so a result
+	// handler must pick the dynamic answer. Prefer the highest-status..
+	// simplest: prefer the first 200.
+	err = r.srv.Request.SetResultHandler(func(acc, res any, i int) any {
+		a, _ := acc.(*Response)
+		b, _ := res.(*Response)
+		if a != nil && a.Status == 200 {
+			return a
+		}
+		return b
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := r.fetch(t, "/stats", "/paper.ps")
+	if resp[0].Status != 200 || string(resp[0].Body) != "uptime: forever" {
+		t.Fatalf("stats resp = %+v", resp[0])
+	}
+	if resp[1].Status != 200 {
+		t.Fatalf("file resp = %+v", resp[1])
+	}
+}
+
+func TestPathFilterComposes(t *testing.T) {
+	// The MS-DOS filter idea applied to URLs: a filter uppercase-folds
+	// legacy paths before the intrinsic sees them.
+	r := boot(t)
+	fsig := rtti.Signature{Args: []rtti.Type{rtti.Text},
+		ByRef: []bool{true}, Result: ResponseType}
+	_, err := r.srv.Request.Install(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Legacy.Filter", Module: rtti.NewModule("Legacy"), Sig: fsig},
+		Fn: func(clo any, args []any) any {
+			if p, ok := args[0].(string); ok {
+				args[0] = strings.ToLower(p)
+			}
+			return nil
+		},
+	}, dispatch.AsFilter(), dispatch.First())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := r.fetch(t, "/PAPER.PS")
+	if resp[0].Status != 200 {
+		t.Fatalf("filtered path status = %d", resp[0].Status)
+	}
+}
+
+func TestAccessLogAsLastHandler(t *testing.T) {
+	r := boot(t)
+	var logged []string
+	sig := r.srv.Request.Signature()
+	_, err := r.srv.Request.Install(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Log.Access", Module: rtti.NewModule("Log"), Sig: sig},
+		Fn: func(clo any, args []any) any {
+			logged = append(logged, args[0].(string))
+			return (*Response)(nil)
+		},
+	}, dispatch.Last())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The logger returns a nil *Response; the result handler must
+	// prefer the real one.
+	err = r.srv.Request.SetResultHandler(func(acc, res any, i int) any {
+		if a, ok := acc.(*Response); ok && a != nil {
+			return a
+		}
+		if b, ok := res.(*Response); ok && b != nil {
+			return b
+		}
+		return acc
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.fetch(t, "/paper.ps", "/")
+	if len(logged) != 2 || logged[0] != "/paper.ps" {
+		t.Fatalf("logged = %v", logged)
+	}
+}
+
+func TestBadRequest(t *testing.T) {
+	r := boot(t)
+	client, err := NewClient(r.sb, "10.0.0.1", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := false
+	r.b.Sched.Spawn("client", 0, func(st *sched.Strand) sched.Status {
+		if !client.Conn().Established() {
+			client.Conn().AwaitEstablished(st)
+			return sched.Block
+		}
+		if !sent {
+			sent = true
+			_ = client.Conn().Send([]byte("BREW /coffee HTCPCP/1.0\r\n"))
+		}
+		client.Pump()
+		if len(client.Responses) >= 1 {
+			return sched.Done
+		}
+		client.Conn().AwaitData(st)
+		return sched.Block
+	})
+	r.a.Sim.Run(500000)
+	if len(client.Responses) != 1 || client.Responses[0].Status != 400 {
+		t.Fatalf("responses = %+v", client.Responses)
+	}
+	if r.srv.BadReqs != 1 {
+		t.Fatalf("badreqs = %d", r.srv.BadReqs)
+	}
+}
+
+func TestCloseStopsAccepting(t *testing.T) {
+	r := boot(t)
+	r.srv.Close()
+	// A new connection attempt is refused (reset), so the client never
+	// establishes.
+	conn, err := r.sb.DialTCP("10.0.0.1", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.a.Sim.Run(200000)
+	if conn.Established() {
+		t.Fatal("connected to a closed server")
+	}
+}

@@ -1,0 +1,304 @@
+package netstack
+
+import (
+	"fmt"
+
+	"spin/internal/sched"
+	"spin/internal/vtime"
+)
+
+// The TCP module. Segment demultiplexing is the intrinsic handler of
+// Tcp.PacketArrived: connections are internal state, not separate event
+// handlers (extensions that want per-port visibility install their own
+// guarded handlers next to the intrinsic, as the OSF emulator's port
+// watcher does for Table 3).
+//
+// The transport is deliberately simplified: the simulated wire is lossless
+// and ordered, so there is no retransmission, no window management, and an
+// unbounded send window; every data segment is acknowledged with a pure
+// ACK, which keeps segment counts faithful to a real trace's
+// data-plus-acks mix.
+
+// TCP connection states.
+type tcpConnState int
+
+const (
+	tcpSynSent tcpConnState = iota
+	tcpSynRcvd
+	tcpEstablished
+	tcpClosed
+)
+
+func (s tcpConnState) String() string {
+	switch s {
+	case tcpSynSent:
+		return "syn-sent"
+	case tcpSynRcvd:
+		return "syn-rcvd"
+	case tcpEstablished:
+		return "established"
+	case tcpClosed:
+		return "closed"
+	}
+	return "state(?)"
+}
+
+type connKey struct {
+	remoteIP   string
+	remotePort uint16
+	localPort  uint16
+}
+
+type tcpState struct {
+	listeners map[uint16]*TCPListener
+	conns     map[connKey]*TCPConn
+	nextPort  uint16
+	// Resets counts segments that matched no connection or listener.
+	Resets int64
+}
+
+func (t *tcpState) init() {
+	t.listeners = make(map[uint16]*TCPListener)
+	t.conns = make(map[connKey]*TCPConn)
+	t.nextPort = 32768
+}
+
+// TCPListener accepts inbound connections on a port.
+type TCPListener struct {
+	stack   *Stack
+	port    uint16
+	pending []*TCPConn
+	waiter  *sched.Strand
+}
+
+// ListenTCP reserves a TCP port for inbound connections.
+func (s *Stack) ListenTCP(port uint16) (*TCPListener, error) {
+	if _, dup := s.tcp.listeners[port]; dup {
+		return nil, fmt.Errorf("%w: tcp/%d", ErrPortInUse, port)
+	}
+	l := &TCPListener{stack: s, port: port}
+	s.tcp.listeners[port] = l
+	return l, nil
+}
+
+// Port returns the listening port.
+func (l *TCPListener) Port() uint16 { return l.port }
+
+// Accept pops an established inbound connection, reporting false when none
+// is ready.
+func (l *TCPListener) Accept() (*TCPConn, bool) {
+	if len(l.pending) == 0 {
+		return nil, false
+	}
+	c := l.pending[0]
+	l.pending = l.pending[1:]
+	return c, true
+}
+
+// Ready reports whether Accept would succeed.
+func (l *TCPListener) Ready() bool { return len(l.pending) > 0 }
+
+// AwaitConn registers st for wakeup when a connection becomes acceptable.
+func (l *TCPListener) AwaitConn(st *sched.Strand) { l.waiter = st }
+
+// Close stops listening. Established connections are unaffected.
+func (l *TCPListener) Close() {
+	if l.stack.tcp.listeners[l.port] == l {
+		delete(l.stack.tcp.listeners, l.port)
+	}
+}
+
+// TCPConn is one connection endpoint.
+type TCPConn struct {
+	stack      *Stack
+	localPort  uint16
+	remotePort uint16
+	remoteIP   string
+	state      tcpConnState
+
+	seq, ack uint32
+
+	recvQ      [][]byte
+	recvWaiter *sched.Strand
+	connWaiter *sched.Strand
+	eof        bool
+
+	// SegsIn, SegsOut, BytesIn, BytesOut count traffic.
+	SegsIn, SegsOut   int64
+	BytesIn, BytesOut int64
+}
+
+// DialTCP opens a connection to dstIP:dstPort. The SYN is sent
+// immediately; the caller's strand should block until Established reports
+// true (use AwaitEstablished).
+func (s *Stack) DialTCP(dstIP string, dstPort uint16) (*TCPConn, error) {
+	port := s.tcp.nextPort
+	s.tcp.nextPort++
+	c := &TCPConn{stack: s, localPort: port, remotePort: dstPort, remoteIP: dstIP,
+		state: tcpSynSent, seq: 1}
+	s.tcp.conns[connKey{dstIP, dstPort, port}] = c
+	if err := c.sendSeg(FlagSYN, nil); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Established reports whether the handshake has completed.
+func (c *TCPConn) Established() bool { return c.state == tcpEstablished }
+
+// Closed reports whether the connection has terminated.
+func (c *TCPConn) Closed() bool { return c.state == tcpClosed }
+
+// EOF reports whether the peer has finished sending.
+func (c *TCPConn) EOF() bool { return c.eof && len(c.recvQ) == 0 }
+
+// AwaitEstablished registers st for wakeup when the handshake completes.
+func (c *TCPConn) AwaitEstablished(st *sched.Strand) { c.connWaiter = st }
+
+// LocalPort and RemotePort identify the endpoints.
+func (c *TCPConn) LocalPort() uint16  { return c.localPort }
+func (c *TCPConn) RemotePort() uint16 { return c.remotePort }
+
+// Send transmits data, segmenting at the MSS. Each segment is charged one
+// socket operation plus the TCP header build; the receiver acknowledges
+// each segment with a pure ACK.
+func (c *TCPConn) Send(data []byte) error {
+	if c.state != tcpEstablished {
+		return fmt.Errorf("%w (%v)", ErrNotStarted, c.state)
+	}
+	for len(data) > 0 {
+		n := len(data)
+		if n > MSS {
+			n = MSS
+		}
+		seg := data[:n]
+		data = data[n:]
+		c.stack.cpu.Charge(vtime.SocketOp)
+		if err := c.sendSeg(FlagPSH|FlagACK, seg); err != nil {
+			return err
+		}
+		c.seq += uint32(n)
+		c.BytesOut += int64(n)
+	}
+	return nil
+}
+
+// Readable reports whether Recv would succeed or EOF has been reached.
+func (c *TCPConn) Readable() bool { return len(c.recvQ) > 0 || c.eof }
+
+// Recv pops the next received segment payload.
+func (c *TCPConn) Recv() ([]byte, bool) {
+	if len(c.recvQ) == 0 {
+		return nil, false
+	}
+	d := c.recvQ[0]
+	c.recvQ = c.recvQ[1:]
+	return d, true
+}
+
+// AwaitData registers st for wakeup on the next delivery or EOF.
+func (c *TCPConn) AwaitData(st *sched.Strand) { c.recvWaiter = st }
+
+// Close sends FIN and marks the connection closed locally.
+func (c *TCPConn) Close() error {
+	if c.state == tcpClosed {
+		return nil
+	}
+	err := c.sendSeg(FlagFIN|FlagACK, nil)
+	c.state = tcpClosed
+	return err
+}
+
+// sendSeg builds and transmits one segment.
+func (c *TCPConn) sendSeg(flags uint8, payload []byte) error {
+	c.stack.cpu.Charge(vtime.ProtoLayer) // TCP header build
+	c.SegsOut++
+	return c.stack.sendIP(&Packet{
+		DstIP: c.remoteIP, Proto: ProtoTCP,
+		SrcPort: c.localPort, DstPort: c.remotePort,
+		Seq: c.seq, Ack: c.ack, Flags: flags,
+		Payload: payload,
+	})
+}
+
+// wake rouses a parked strand pointer, clearing it.
+func (s *Stack) wake(w **sched.Strand) {
+	if *w != nil {
+		st := *w
+		*w = nil
+		s.sched.Wakeup(st)
+	}
+}
+
+// tcpInput is the Tcp.PacketArrived intrinsic handler: segment
+// demultiplexing and the connection state machine.
+func (s *Stack) tcpInput(pkt *Packet) {
+	s.cpu.ChargeTo(vtime.AccountKernel, vtime.SocketOp)
+	key := connKey{pkt.SrcIP, pkt.SrcPort, pkt.DstPort}
+	c, ok := s.tcp.conns[key]
+	if !ok {
+		// New inbound connection?
+		if pkt.Flags&FlagSYN != 0 && pkt.Flags&FlagACK == 0 {
+			l, listening := s.tcp.listeners[pkt.DstPort]
+			if !listening {
+				s.tcp.Resets++
+				return
+			}
+			c = &TCPConn{stack: s, localPort: pkt.DstPort,
+				remotePort: pkt.SrcPort, remoteIP: pkt.SrcIP,
+				state: tcpSynRcvd, seq: 1, ack: pkt.Seq + 1}
+			s.tcp.conns[key] = c
+			c.SegsIn++
+			_ = c.sendSeg(FlagSYN|FlagACK, nil)
+			c.seq++
+			_ = l // accepted on the completing ACK below
+			return
+		}
+		s.tcp.Resets++
+		return
+	}
+
+	c.SegsIn++
+	switch {
+	case c.state == tcpSynSent && pkt.Flags&(FlagSYN|FlagACK) == FlagSYN|FlagACK:
+		// Active open completes: ACK the SYN-ACK.
+		c.state = tcpEstablished
+		c.ack = pkt.Seq + 1
+		c.seq++
+		_ = c.sendSeg(FlagACK, nil)
+		s.wake(&c.connWaiter)
+
+	case c.state == tcpSynRcvd && pkt.Flags&FlagACK != 0 && pkt.Flags&FlagSYN == 0:
+		// Passive open completes: hand to the listener.
+		c.state = tcpEstablished
+		if l, ok := s.tcp.listeners[c.localPort]; ok {
+			l.pending = append(l.pending, c)
+			s.wake(&l.waiter)
+		}
+		// A completing ACK may piggyback data.
+		if len(pkt.Payload) > 0 {
+			c.deliverData(pkt)
+		}
+
+	case pkt.Flags&FlagFIN != 0:
+		c.eof = true
+		c.ack = pkt.Seq + 1
+		_ = c.sendSeg(FlagACK, nil)
+		s.wake(&c.recvWaiter)
+
+	case len(pkt.Payload) > 0 && c.state == tcpEstablished:
+		c.deliverData(pkt)
+		_ = c.sendSeg(FlagACK, nil)
+
+	default:
+		// Pure ACK: nothing to do with an unbounded window.
+	}
+}
+
+func (c *TCPConn) deliverData(pkt *Packet) {
+	c.stack.cpu.ChargeTo(vtime.AccountKernel, vtime.SocketOp)
+	c.recvQ = append(c.recvQ, pkt.Payload)
+	c.ack = pkt.Seq + uint32(len(pkt.Payload))
+	c.BytesIn += int64(len(pkt.Payload))
+	c.stack.wake(&c.recvWaiter)
+}

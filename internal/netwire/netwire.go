@@ -1,0 +1,172 @@
+// Package netwire simulates the 10 Mb/s Ethernet that connected the
+// paper's pair of AXP 3000/400 machines (§3.2 "Networking").
+//
+// A Link carries frames between attached NICs in virtual time: each send
+// pays the frame's serialization delay at the link bandwidth plus a fixed
+// media latency, then the destination NIC's receive callback fires as a
+// discrete event. The receive callback is the "network interrupt handler"
+// hook the network stack installs.
+package netwire
+
+import (
+	"errors"
+	"fmt"
+
+	"spin/internal/vtime"
+)
+
+// Ethernet framing constants (bytes on the wire around the payload):
+// preamble+SFD 8, MAC header 14, FCS 4, interframe gap 12, minimum payload
+// 46.
+const (
+	frameOverhead = 8 + 14 + 4 + 12
+	minPayload    = 46
+	// MTU is the maximum Ethernet payload.
+	MTU = 1500
+	// DefaultBandwidth is 10 Mb/s, the paper's Ethernet.
+	DefaultBandwidth = 10_000_000
+	// DefaultLatency is the fixed media plus transceiver latency per
+	// frame.
+	DefaultLatency = vtime.Duration(5 * 1000) // 5us
+)
+
+// EtherType values used by the stack.
+const (
+	TypeIP  uint16 = 0x0800
+	TypeARP uint16 = 0x0806
+)
+
+// Broadcast is the link-layer broadcast address: a frame sent to it is
+// delivered to every attached NIC except the sender.
+const Broadcast = "ff:ff:ff:ff:ff:ff"
+
+// Frame is one Ethernet frame. Payload is an opaque reference: the sending
+// stack passes its parsed packet representation and the receiving stack
+// re-parses, charging the protocol-processing costs explicitly.
+type Frame struct {
+	Src, Dst  string
+	EtherType uint16
+	// Size is the payload size in bytes, used for serialization timing.
+	Size int
+	// Payload carries the packet across the simulated wire.
+	Payload any
+}
+
+// Errors.
+var (
+	ErrNoSuchNIC   = errors.New("netwire: no NIC with that address")
+	ErrDuplicateNI = errors.New("netwire: address already attached")
+	ErrTooBig      = errors.New("netwire: frame exceeds MTU")
+)
+
+// Link is a shared broadcast segment.
+type Link struct {
+	sim       *vtime.Simulator
+	bandwidth int64 // bits per second
+	latency   vtime.Duration
+	nics      map[string]*NIC
+	// Frames counts frames delivered.
+	Frames int64
+	// Dropped counts frames addressed to unattached NICs.
+	Dropped int64
+}
+
+// NewLink builds a link on the simulator. bandwidth 0 selects
+// DefaultBandwidth; latency 0 selects DefaultLatency.
+func NewLink(sim *vtime.Simulator, bandwidth int64, latency vtime.Duration) *Link {
+	if bandwidth == 0 {
+		bandwidth = DefaultBandwidth
+	}
+	if latency == 0 {
+		latency = DefaultLatency
+	}
+	return &Link{sim: sim, bandwidth: bandwidth, latency: latency, nics: make(map[string]*NIC)}
+}
+
+// SerializationDelay reports the time to clock a frame with the given
+// payload size onto the wire.
+func (l *Link) SerializationDelay(payloadSize int) vtime.Duration {
+	if payloadSize < minPayload {
+		payloadSize = minPayload
+	}
+	bits := int64(payloadSize+frameOverhead) * 8
+	return vtime.Duration(bits * int64(1_000_000_000) / l.bandwidth)
+}
+
+// Attach adds a NIC with the given MAC-like address.
+func (l *Link) Attach(addr string) (*NIC, error) {
+	if _, dup := l.nics[addr]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateNI, addr)
+	}
+	n := &NIC{link: l, addr: addr}
+	l.nics[addr] = n
+	return n, nil
+}
+
+// NIC is a network interface attached to a link.
+type NIC struct {
+	link *Link
+	addr string
+	recv func(f *Frame)
+	// txBusyUntil serializes transmissions: a frame cannot start
+	// clocking out until the previous one has left the interface, so
+	// small frames never overtake large ones queued ahead of them.
+	txBusyUntil vtime.Time
+	// TxFrames and RxFrames count traffic through this interface.
+	TxFrames int64
+	RxFrames int64
+}
+
+// Addr returns the NIC's address.
+func (n *NIC) Addr() string { return n.addr }
+
+// SetReceiver installs the receive-interrupt callback. The stack charges
+// its own interrupt cost inside the callback.
+func (n *NIC) SetReceiver(fn func(f *Frame)) { n.recv = fn }
+
+// Send transmits a frame. Delivery is scheduled after the serialization
+// delay plus link latency; a frame to an unknown address is dropped
+// silently after consuming wire time, as on a real segment.
+func (n *NIC) Send(f *Frame) error {
+	if f.Size > MTU {
+		return fmt.Errorf("%w: %d bytes", ErrTooBig, f.Size)
+	}
+	f.Src = n.addr
+	n.TxFrames++
+	now := n.link.sim.Clock().Now()
+	start := now
+	if n.txBusyUntil > start {
+		start = n.txBusyUntil
+	}
+	end := start.Add(n.link.SerializationDelay(f.Size))
+	n.txBusyUntil = end
+	deliverAt := end.Add(n.link.latency)
+	dst := f.Dst
+	n.link.sim.At(deliverAt, func() {
+		if dst == Broadcast {
+			delivered := false
+			for _, peer := range n.link.nics {
+				if peer == n || peer.recv == nil {
+					continue
+				}
+				n.link.Frames++
+				peer.RxFrames++
+				peer.recv(f)
+				delivered = true
+			}
+			if !delivered {
+				n.link.Dropped++
+			}
+			return
+		}
+		peer, ok := n.link.nics[dst]
+		if !ok || peer.recv == nil {
+			n.link.Dropped++
+			return
+		}
+		n.link.Frames++
+		peer.RxFrames++
+		peer.recv(f)
+	})
+	return nil
+}

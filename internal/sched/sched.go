@@ -1,0 +1,308 @@
+// Package sched provides the strand (thread) package and scheduler
+// substrate. In SPIN, threads and scheduling are extensions, and the
+// scheduler announces every scheduling operation by raising the Strand.Run
+// event — Table 3 shows it as the most frequently raised event in the
+// document-preview workload. Extensions managing user-space threads install
+// EPHEMERAL handlers on it to save and restore thread state during context
+// switches (§2.6).
+//
+// Strands are cooperative state machines: a strand's body is a StepFunc the
+// scheduler calls each time the strand is dispatched; the body performs a
+// bounded amount of (virtual-time-charged) work and reports whether the
+// strand yielded, blocked, or finished. This continuation style keeps the
+// whole simulation single-threaded and deterministic under the
+// discrete-event clock; see DESIGN.md for the substitution note.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"spin/internal/dispatch"
+	"spin/internal/rtti"
+	"spin/internal/vtime"
+)
+
+// State is a strand's scheduling state.
+type State int
+
+const (
+	// Ready strands are on the run queue.
+	Ready State = iota
+	// Running is the strand currently executing.
+	Running
+	// Blocked strands await a Wakeup.
+	Blocked
+	// Dead strands have finished or been killed.
+	Dead
+)
+
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Dead:
+		return "dead"
+	}
+	return "state(?)"
+}
+
+// Status is what a strand body reports after each step.
+type Status int
+
+const (
+	// Yield keeps the strand runnable; it re-enters the run queue.
+	Yield Status = iota
+	// Block parks the strand until Wakeup.
+	Block
+	// Done retires the strand.
+	Done
+)
+
+// StepFunc is a strand body: called once per dispatch, it performs a slice
+// of work and reports the strand's disposition.
+type StepFunc func(st *Strand) Status
+
+// StrandType is the rtti reference type for strands (the paper's Strand.T).
+var StrandType = rtti.NewRef("Strand.T", nil)
+
+// Module is the strand package's module descriptor; it holds authority
+// over the Strand.Run event.
+var Module = rtti.NewModule("Strand", "Strand")
+
+// Strand is a thread of control (the paper's Strand.T).
+type Strand struct {
+	id    uint64
+	name  string
+	space uint64
+	sched *Scheduler
+	step  StepFunc
+	state State
+	// Locals carries per-strand extension state (emulator task data,
+	// socket wait registrations).
+	Locals map[string]any
+}
+
+// RTTIType implements rtti.Described.
+func (s *Strand) RTTIType() rtti.Type { return StrandType }
+
+// ID returns the strand identifier (passed as the first Strand.Run
+// argument, so word predicates can discriminate on it).
+func (s *Strand) ID() uint64 { return s.id }
+
+// Name returns the strand's diagnostic name.
+func (s *Strand) Name() string { return s.name }
+
+// Space returns the identifier of the address space the strand executes
+// in; syscall guards discriminate on it (Figure 3).
+func (s *Strand) Space() uint64 { return s.space }
+
+// State returns the scheduling state.
+func (s *Strand) State() State { return s.state }
+
+func (s *Strand) String() string {
+	return fmt.Sprintf("strand %d (%s, %s)", s.id, s.name, s.state)
+}
+
+// Scheduler is a round-robin strand scheduler. Each scheduling operation
+// raises Strand.Run before dispatching the chosen strand.
+type Scheduler struct {
+	d   *dispatch.Dispatcher
+	cpu *vtime.CPU
+	sim *vtime.Simulator
+
+	// RunEvent is Strand.Run: raised with (strand-id, strand) on every
+	// dispatch of a strand.
+	RunEvent *dispatch.Event
+
+	runq     []*Strand
+	live     int
+	nextID   uint64
+	switches atomic.Int64
+	pumping  bool
+
+	// WakeLatency delays the first dispatch after the run queue goes
+	// from empty to non-empty, modelling scheduling quantum and dispatch
+	// latency on a timeshared machine. While a woken strand waits out
+	// the latency, further wakeups coalesce — which is why the paper's
+	// X server performs one select per several arriving packets
+	// (Table 3: 595 EventNotify raises against 2505 TCP packets).
+	WakeLatency vtime.Duration
+}
+
+// ErrNoSimulator is returned by Run when the scheduler was built without a
+// simulator; use RunToCompletion instead.
+var ErrNoSimulator = errors.New("sched: scheduler has no simulator attached")
+
+// New builds a scheduler over the dispatcher. cpu and sim may be nil for
+// unmetered, real-time use. The Strand.Run event is defined with an
+// intrinsic handler (the scheduler's own bookkeeping, a no-op) so that a
+// freshly booted system dispatches it as a plain procedure call.
+func New(d *dispatch.Dispatcher, cpu *vtime.CPU, sim *vtime.Simulator) (*Scheduler, error) {
+	s := &Scheduler{d: d, cpu: cpu, sim: sim}
+	run, err := d.DefineEvent("Strand.Run",
+		rtti.Sig(nil, rtti.Word, rtti.RefAny),
+		dispatch.WithIntrinsic(dispatch.Handler{
+			Proc: &rtti.Proc{Name: "Strand.Run", Module: Module,
+				Sig: rtti.Sig(nil, rtti.Word, rtti.RefAny)},
+			Fn: func(closure any, args []any) any { return nil },
+		}))
+	if err != nil {
+		return nil, err
+	}
+	s.RunEvent = run
+	return s, nil
+}
+
+// Spawn creates a strand in the given address space and makes it runnable.
+func (s *Scheduler) Spawn(name string, space uint64, step StepFunc) *Strand {
+	s.nextID++
+	st := &Strand{id: s.nextID, name: name, space: space, sched: s,
+		step: step, state: Ready, Locals: make(map[string]any)}
+	s.live++
+	s.enqueue(st, true)
+	return st
+}
+
+// Simulator returns the scheduler's discrete-event simulator, or nil in
+// real-time mode. Substrates use it for raw timers that must not be
+// starved by strand scheduling.
+func (s *Scheduler) Simulator() *vtime.Simulator { return s.sim }
+
+// Live reports the number of non-dead strands.
+func (s *Scheduler) Live() int { return s.live }
+
+// QueueLen reports the run-queue length.
+func (s *Scheduler) QueueLen() int { return len(s.runq) }
+
+// Switches reports the number of scheduling operations performed (each one
+// raised Strand.Run).
+func (s *Scheduler) Switches() int64 { return s.switches.Load() }
+
+// Wakeup makes a blocked strand runnable. Waking a dead strand is ignored;
+// waking a ready or running strand is a no-op. I/O wakeups pay the
+// scheduler's WakeLatency before dispatch.
+func (s *Scheduler) Wakeup(st *Strand) { s.wakeup(st, false) }
+
+func (s *Scheduler) wakeup(st *Strand, prompt bool) {
+	if st == nil || st.state != Blocked {
+		return
+	}
+	st.state = Ready
+	s.enqueue(st, prompt)
+}
+
+// WakeAfter schedules a wakeup d into the virtual future. It requires a
+// simulator. Timer wakeups dispatch promptly (the timer interrupt runs the
+// scheduler), bypassing WakeLatency.
+func (s *Scheduler) WakeAfter(st *Strand, d vtime.Duration) error {
+	if s.sim == nil {
+		return ErrNoSimulator
+	}
+	s.sim.After(d, func() { s.wakeup(st, true) })
+	return nil
+}
+
+// Kill retires a strand immediately. The paper's user-space thread
+// managers use this when an EPHEMERAL context-switch handler is
+// terminated: "premature termination results in the termination of the
+// user-space thread".
+func (s *Scheduler) Kill(st *Strand) {
+	if st == nil || st.state == Dead {
+		return
+	}
+	if st.state == Ready {
+		for i, q := range s.runq {
+			if q == st {
+				s.runq = append(s.runq[:i], s.runq[i+1:]...)
+				break
+			}
+		}
+	}
+	st.state = Dead
+	s.live--
+}
+
+// enqueue appends to the run queue and, under a simulator, arranges for the
+// scheduler to pump. Prompt enqueues (timer wakeups, fresh spawns) skip
+// WakeLatency.
+func (s *Scheduler) enqueue(st *Strand, prompt bool) {
+	wasEmpty := len(s.runq) == 0
+	s.runq = append(s.runq, st)
+	if s.sim != nil && !s.pumping {
+		s.pumping = true
+		delay := vtime.Duration(0)
+		if wasEmpty && !prompt {
+			delay = s.WakeLatency
+		}
+		s.sim.After(delay, s.tickFromSim)
+	}
+}
+
+func (s *Scheduler) tickFromSim() {
+	s.pumping = false
+	if s.tick() && !s.pumping {
+		s.pumping = true
+		s.sim.After(0, s.tickFromSim)
+	}
+}
+
+// tick performs one scheduling operation: raise Strand.Run, dispatch the
+// strand at the head of the queue, and reinsert or retire it. It reports
+// whether more runnable work remains.
+func (s *Scheduler) tick() bool {
+	if len(s.runq) == 0 {
+		return false
+	}
+	st := s.runq[0]
+	s.runq = s.runq[1:]
+	if st.state == Dead { // killed while queued
+		return len(s.runq) > 0
+	}
+	s.switches.Add(1)
+	s.cpu.Charge(vtime.ContextSwitch)
+	// Announce the scheduling operation. The raise cannot fail for
+	// arity reasons; a handler-installed guard rejecting everything
+	// would surface ErrNoHandler, which we tolerate: the intrinsic may
+	// have been deregistered by an experiment.
+	_, _ = s.RunEvent.Raise(st.id, st)
+	if st.state == Dead {
+		// A context-switch handler (e.g. a terminated EPHEMERAL
+		// restore handler) killed the strand during the raise.
+		return len(s.runq) > 0
+	}
+	st.state = Running
+	status := st.step(st)
+	switch status {
+	case Yield:
+		st.state = Ready
+		s.runq = append(s.runq, st)
+	case Block:
+		if st.state == Running {
+			st.state = Blocked
+		}
+	case Done:
+		st.state = Dead
+		s.live--
+	}
+	return len(s.runq) > 0
+}
+
+// RunToCompletion drives the scheduler without a simulator until the run
+// queue empties, for unmetered unit tests. It stops after limit ticks when
+// limit > 0.
+func (s *Scheduler) RunToCompletion(limit int) int {
+	ticks := 0
+	for s.tick() || len(s.runq) > 0 {
+		ticks++
+		if limit > 0 && ticks >= limit {
+			break
+		}
+	}
+	return ticks
+}

@@ -1,0 +1,261 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"spin/internal/dispatch"
+	"spin/internal/rtti"
+	"spin/internal/vtime"
+)
+
+func newRig(t *testing.T, metered bool) (*dispatch.Dispatcher, *Scheduler, *vtime.Simulator, *vtime.CPU) {
+	t.Helper()
+	var cpu *vtime.CPU
+	var sim *vtime.Simulator
+	var opts []dispatch.Option
+	if metered {
+		var clock vtime.Clock
+		cpu = vtime.NewCPU(&clock, vtime.AlphaModel())
+		sim = vtime.NewSimulator(&clock)
+		opts = append(opts, dispatch.WithCPU(cpu), dispatch.WithSimulator(sim))
+	}
+	d := dispatch.New(opts...)
+	s, err := New(d, cpu, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, s, sim, cpu
+}
+
+func TestSpawnAndRun(t *testing.T) {
+	_, s, _, _ := newRig(t, false)
+	steps := 0
+	st := s.Spawn("worker", 1, func(st *Strand) Status {
+		steps++
+		if steps == 3 {
+			return Done
+		}
+		return Yield
+	})
+	if st.State() != Ready || st.Name() != "worker" || st.Space() != 1 || st.ID() == 0 {
+		t.Fatalf("strand = %v", st)
+	}
+	s.RunToCompletion(0)
+	if steps != 3 {
+		t.Fatalf("steps = %d", steps)
+	}
+	if st.State() != Dead || s.Live() != 0 {
+		t.Fatalf("state=%v live=%d", st.State(), s.Live())
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	_, s, _, _ := newRig(t, false)
+	var trace []string
+	mk := func(name string, n int) StepFunc {
+		count := 0
+		return func(st *Strand) Status {
+			trace = append(trace, name)
+			count++
+			if count == n {
+				return Done
+			}
+			return Yield
+		}
+	}
+	s.Spawn("a", 0, mk("a", 2))
+	s.Spawn("b", 0, mk("b", 2))
+	s.RunToCompletion(0)
+	want := []string{"a", "b", "a", "b"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestStrandRunRaisedPerSwitch(t *testing.T) {
+	// Table 3: Strand.Run occurs during each scheduling operation.
+	_, s, _, _ := newRig(t, false)
+	s.Spawn("w", 0, func(st *Strand) Status {
+		if s.Switches() >= 5 {
+			return Done
+		}
+		return Yield
+	})
+	s.RunToCompletion(0)
+	stats := s.RunEvent.Stats()
+	if stats.Raised != s.Switches() || stats.Raised != 5 {
+		t.Fatalf("raised=%d switches=%d", stats.Raised, s.Switches())
+	}
+}
+
+func TestBlockAndWakeup(t *testing.T) {
+	_, s, _, _ := newRig(t, false)
+	phase := 0
+	st := s.Spawn("sleeper", 0, func(st *Strand) Status {
+		phase++
+		if phase == 1 {
+			return Block
+		}
+		return Done
+	})
+	s.RunToCompletion(0)
+	if st.State() != Blocked || phase != 1 {
+		t.Fatalf("state=%v phase=%d", st.State(), phase)
+	}
+	s.Wakeup(st)
+	s.RunToCompletion(0)
+	if st.State() != Dead || phase != 2 {
+		t.Fatalf("state=%v phase=%d", st.State(), phase)
+	}
+	// Waking a dead strand is a no-op.
+	s.Wakeup(st)
+	if st.State() != Dead || s.QueueLen() != 0 {
+		t.Fatal("dead strand rescheduled")
+	}
+}
+
+func TestWakeAfterUsesSimulator(t *testing.T) {
+	_, s, sim, cpu := newRig(t, true)
+	woke := false
+	st := s.Spawn("timer", 0, func(st *Strand) Status {
+		if woke {
+			return Done
+		}
+		return Block
+	})
+	sim.Run(0)
+	if st.State() != Blocked {
+		t.Fatalf("state = %v", st.State())
+	}
+	woke = true
+	if err := s.WakeAfter(st, vtime.Micros(500)); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(0)
+	if st.State() != Dead {
+		t.Fatalf("state = %v", st.State())
+	}
+	if got := vtime.InMicros(vtime.Duration(cpu.Now())); got < 500 {
+		t.Fatalf("clock = %.1fus, want >= 500", got)
+	}
+}
+
+func TestWakeAfterWithoutSimulator(t *testing.T) {
+	_, s, _, _ := newRig(t, false)
+	st := s.Spawn("x", 0, func(st *Strand) Status { return Block })
+	if err := s.WakeAfter(st, time.Millisecond); err != ErrNoSimulator {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKill(t *testing.T) {
+	_, s, _, _ := newRig(t, false)
+	ran := 0
+	victim := s.Spawn("victim", 0, func(st *Strand) Status { ran++; return Yield })
+	s.Kill(victim)
+	s.RunToCompletion(0)
+	if ran != 0 || victim.State() != Dead || s.Live() != 0 {
+		t.Fatalf("ran=%d state=%v", ran, victim.State())
+	}
+	s.Kill(victim) // idempotent
+	s.Kill(nil)
+}
+
+func TestContextSwitchHandlerSeesStrand(t *testing.T) {
+	// User-space thread managers install handlers on Strand.Run to save
+	// and restore state.
+	_, s, _, _ := newRig(t, false)
+	var seen []uint64
+	proc := &rtti.Proc{Name: "Threads.Switch", Module: rtti.NewModule("Threads"),
+		Sig: rtti.Sig(nil, rtti.Word, rtti.RefAny)}
+	_, err := s.RunEvent.Install(dispatch.Handler{Proc: proc, Fn: func(clo any, args []any) any {
+		seen = append(seen, args[0].(uint64))
+		if _, ok := args[1].(*Strand); !ok {
+			t.Errorf("second arg is %T", args[1])
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Spawn("w", 0, func(st *Strand) Status { return Done })
+	s.RunToCompletion(0)
+	if len(seen) != 1 || seen[0] != st.ID() {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func TestEphemeralSwitchHandlerTerminationKillsStrand(t *testing.T) {
+	// §2.6: extensions managing user-space threads rely on EPHEMERAL
+	// handlers during context switches; premature termination terminates
+	// the user-space thread.
+	d, s, _, _ := newRig(t, false)
+	_ = d // dispatcher already wired
+	threads := rtti.NewModule("Threads")
+	release := make(chan struct{})
+	defer close(release)
+	proc := &rtti.Proc{Name: "Threads.Restore", Module: threads,
+		Sig: rtti.Sig(nil, rtti.Word, rtti.RefAny), Ephemeral: true}
+	b, err := s.RunEvent.Install(dispatch.Handler{Proc: proc, Fn: func(clo any, args []any) any {
+		<-release // runaway restore handler
+		return nil
+	}}, dispatch.Ephemeral(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	st := s.Spawn("user-thread", 0, func(st *Strand) Status { ran++; return Done })
+	// Supervisory policy: when the restore handler is terminated, the
+	// user-space thread it serves is killed.
+	go func() {
+		for !b.Terminated() {
+			time.Sleep(time.Millisecond)
+		}
+		s.Kill(st)
+	}()
+	s.RunToCompletion(0)
+	if b.Terminations() == 0 {
+		t.Fatal("restore handler was not terminated")
+	}
+}
+
+func TestSchedulerChargesContextSwitch(t *testing.T) {
+	_, s, sim, cpu := newRig(t, true)
+	n := 0
+	s.Spawn("w", 0, func(st *Strand) Status {
+		n++
+		if n == 10 {
+			return Done
+		}
+		return Yield
+	})
+	sim.Run(0)
+	perSwitch := vtime.InMicros(vtime.Duration(cpu.Now())) / 10
+	// Each switch charges ContextSwitch (12us) plus the Strand.Run raise
+	// (a direct call, 0.1+0.02us with two args).
+	if perSwitch < 12 || perSwitch > 13 {
+		t.Fatalf("per-switch cost = %.2fus", perSwitch)
+	}
+}
+
+func TestStrandStringAndStates(t *testing.T) {
+	_, s, _, _ := newRig(t, false)
+	st := s.Spawn("w", 0, func(st *Strand) Status { return Block })
+	if st.String() == "" {
+		t.Fatal("empty String")
+	}
+	for _, state := range []State{Ready, Running, Blocked, Dead, State(99)} {
+		if state.String() == "" {
+			t.Fatal("empty state name")
+		}
+	}
+	if st.RTTIType() != StrandType {
+		t.Fatal("RTTIType wrong")
+	}
+}

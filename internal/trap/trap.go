@@ -1,0 +1,85 @@
+// Package trap reproduces SPIN's MachineTrap module (paper §2.2): the
+// machine-dependent trap handling code that exports system-call delivery
+// as an event.
+//
+// "The kernel provides no native system call handling facilities. Instead,
+// the MachineTrap module, which implements basic trap handling, exports an
+// event Syscall through the MachineTrap interface." When a system call
+// trap happens, the machine-dependent code saves the trapping thread's
+// state and raises MachineTrap.Syscall; emulator extensions (internal/emu)
+// install guarded handlers that recognise their own tasks.
+package trap
+
+import (
+	"spin/internal/dispatch"
+	"spin/internal/rtti"
+	"spin/internal/sched"
+	"spin/internal/vtime"
+)
+
+// Module is MachineTrap's module descriptor — the authority over the
+// Syscall event (Figure 3).
+var Module = rtti.NewModule("MachineTrap", "MachineTrap")
+
+// SavedStateType is the rtti type of the saved machine state (the paper's
+// MachineCPU.SavedState).
+var SavedStateType = rtti.NewRef("MachineCPU.SavedState", nil)
+
+// SyscallSig is the Syscall event's signature:
+// (strand: Strand.T, ms: SavedState). Handlers mutate the state in place
+// to deliver results, as the Modula-3 VAR parameter did.
+var SyscallSig = rtti.Sig(nil, sched.StrandType, SavedStateType)
+
+// SavedState is the saved register state of a trapping strand. V0 carries
+// the system call number (the Alpha convention the paper's Figure 2 CASE
+// statement switches on); A0..A5 carry arguments; Result and Errno are
+// written by the handling emulator.
+type SavedState struct {
+	V0     uint64
+	A      [6]uint64
+	PC     uint64
+	Result uint64
+	Errno  uint64
+	// Handled is set by an emulator that recognised the call; the trap
+	// module uses it to decide whether the syscall found an owner.
+	Handled bool
+}
+
+// RTTIType implements rtti.Described.
+func (s *SavedState) RTTIType() rtti.Type { return SavedStateType }
+
+// Trap is the machine trap module instance for one machine.
+type Trap struct {
+	cpu *vtime.CPU
+	// Syscall is the MachineTrap.Syscall event.
+	Syscall *dispatch.Event
+}
+
+// New defines the MachineTrap.Syscall event on d. The event has no
+// intrinsic handler — the kernel provides no native system call service —
+// but MachineTrap's module owns it, so only MachineTrap can install its
+// authorizer.
+func New(d *dispatch.Dispatcher, cpu *vtime.CPU) (*Trap, error) {
+	ev, err := d.DefineEvent("MachineTrap.Syscall", SyscallSig, dispatch.WithOwner(Module))
+	if err != nil {
+		return nil, err
+	}
+	return &Trap{cpu: cpu, Syscall: ev}, nil
+}
+
+// RaiseSyscall simulates a system call trap: the machine-dependent cost of
+// saving state and entering the kernel is charged, then the Syscall event
+// is raised. The returned error is ErrNoHandler (wrapped) when no emulator
+// claimed the call — an unhandled trap.
+func (t *Trap) RaiseSyscall(st *sched.Strand, ms *SavedState) error {
+	t.cpu.Charge(vtime.SyscallTrap)
+	_, err := t.Syscall.Raise(st, ms)
+	return err
+}
+
+// InstallAuthorizer installs an authorizer over the Syscall event on
+// behalf of the MachineTrap module (Figure 3's
+// Dispatcher.InstallAuthorizerForEvent(..., THIS_MODULE())).
+func (t *Trap) InstallAuthorizer(fn dispatch.AuthorizerFn) error {
+	return t.Syscall.InstallAuthorizer(fn, Module)
+}

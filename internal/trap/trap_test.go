@@ -1,0 +1,144 @@
+package trap
+
+import (
+	"errors"
+	"testing"
+
+	"spin/internal/dispatch"
+	"spin/internal/rtti"
+	"spin/internal/sched"
+	"spin/internal/vtime"
+)
+
+func newRig(t *testing.T) (*dispatch.Dispatcher, *Trap, *sched.Scheduler, *vtime.CPU) {
+	t.Helper()
+	var clock vtime.Clock
+	cpu := vtime.NewCPU(&clock, vtime.AlphaModel())
+	d := dispatch.New(dispatch.WithCPU(cpu))
+	tr, err := New(d, cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.New(d, cpu, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, tr, s, cpu
+}
+
+var emuModule = rtti.NewModule("TestEmu")
+
+func emuHandler(fn dispatch.HandlerFn) dispatch.Handler {
+	return dispatch.Handler{
+		Proc: &rtti.Proc{Name: "TestEmu.Syscall", Module: emuModule, Sig: SyscallSig},
+		Fn:   fn,
+	}
+}
+
+func isTaskGuard(want string) dispatch.Guard {
+	return dispatch.Guard{
+		Proc: &rtti.Proc{Name: "TestEmu.Guard", Module: emuModule, Functional: true,
+			Sig: rtti.Sig(rtti.Bool, sched.StrandType, SavedStateType)},
+		Fn: func(clo any, args []any) bool {
+			st := args[0].(*sched.Strand)
+			task, _ := st.Locals["task"].(string)
+			return task == want
+		},
+	}
+}
+
+func TestUnhandledSyscallIsException(t *testing.T) {
+	_, tr, s, _ := newRig(t)
+	st := s.Spawn("init", 1, func(*sched.Strand) sched.Status { return sched.Done })
+	err := tr.RaiseSyscall(st, &SavedState{V0: 1})
+	if !errors.Is(err, dispatch.ErrNoHandler) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGuardedEmulatorsPartitionSyscalls(t *testing.T) {
+	// Figure 2: the Mach emulator's guard ensures only system calls
+	// raised for threads executing as part of Mach tasks reach it.
+	_, tr, s, _ := newRig(t)
+	var machCalls, osfCalls int
+	if _, err := tr.Syscall.Install(emuHandler(func(clo any, args []any) any {
+		machCalls++
+		args[1].(*SavedState).Handled = true
+		return nil
+	}), dispatch.WithGuard(isTaskGuard("mach"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Syscall.Install(emuHandler(func(clo any, args []any) any {
+		osfCalls++
+		args[1].(*SavedState).Handled = true
+		return nil
+	}), dispatch.WithGuard(isTaskGuard("osf"))); err != nil {
+		t.Fatal(err)
+	}
+
+	machStrand := s.Spawn("m", 1, func(*sched.Strand) sched.Status { return sched.Done })
+	machStrand.Locals["task"] = "mach"
+	osfStrand := s.Spawn("o", 2, func(*sched.Strand) sched.Status { return sched.Done })
+	osfStrand.Locals["task"] = "osf"
+
+	ms := &SavedState{V0: 65}
+	if err := tr.RaiseSyscall(machStrand, ms); err != nil {
+		t.Fatal(err)
+	}
+	if !ms.Handled {
+		t.Fatal("state not marked handled")
+	}
+	if err := tr.RaiseSyscall(osfStrand, &SavedState{V0: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if machCalls != 1 || osfCalls != 1 {
+		t.Fatalf("mach=%d osf=%d", machCalls, osfCalls)
+	}
+}
+
+func TestSyscallChargesTrapCost(t *testing.T) {
+	_, tr, s, cpu := newRig(t)
+	_, _ = tr.Syscall.Install(emuHandler(func(any, []any) any { return nil }))
+	st := s.Spawn("x", 1, func(*sched.Strand) sched.Status { return sched.Done })
+	before := cpu.Now()
+	if err := tr.RaiseSyscall(st, &SavedState{}); err != nil {
+		t.Fatal(err)
+	}
+	us := vtime.InMicros(cpu.Now().Sub(before))
+	// SyscallTrap (6us) + direct-call dispatch.
+	if us < 6 || us > 7 {
+		t.Fatalf("syscall cost = %.2fus", us)
+	}
+}
+
+func TestInstallAuthorizer(t *testing.T) {
+	_, tr, s, _ := newRig(t)
+	if err := tr.InstallAuthorizer(func(req *dispatch.AuthRequest) bool {
+		return req.Requestor == emuModule
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// emuModule passes.
+	if _, err := tr.Syscall.Install(emuHandler(func(any, []any) any { return nil })); err != nil {
+		t.Fatal(err)
+	}
+	// A stranger is denied.
+	stranger := dispatch.Handler{
+		Proc: &rtti.Proc{Name: "X", Module: rtti.NewModule("X"), Sig: SyscallSig},
+		Fn:   func(any, []any) any { return nil },
+	}
+	if _, err := tr.Syscall.Install(stranger); !errors.Is(err, dispatch.ErrDenied) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = s
+}
+
+func TestSavedStateRTTI(t *testing.T) {
+	ms := &SavedState{}
+	if ms.RTTIType() != SavedStateType {
+		t.Fatal("RTTIType wrong")
+	}
+	if !SyscallSig.EqualTypes(rtti.Sig(nil, sched.StrandType, SavedStateType)) {
+		t.Fatal("signature drifted")
+	}
+}

@@ -1,0 +1,362 @@
+// Package txn is the distributed transaction system, the last of the
+// paper's "collection of integrated applications" (§3: "including a
+// distributed transaction system and a web server"). It implements
+// two-phase commit between a coordinator and participants on separate
+// simulated machines, communicating over the netstack's UDP.
+//
+// The extension structure is the point: each participant announces the
+// protocol's phases as events —
+//
+//	Txn.Prepare(txid: WORD, op: TEXT): BOOLEAN
+//	Txn.Commit(txid: WORD, op: TEXT)
+//	Txn.Abort(txid: WORD, op: TEXT)
+//
+// Resource managers are ordinary guarded handlers on those events. A
+// participant's vote is the logical AND of every resource manager's
+// Prepare result — the exact dual of VM.PageFault's logical-OR result
+// handler (§2.3) — and a default handler votes yes when no resource
+// manager is interested in the operation. Guards keep a resource manager
+// from seeing operations outside its domain, just as packet guards keep
+// endpoints from seeing foreign ports.
+package txn
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"spin/internal/dispatch"
+	"spin/internal/netstack"
+	"spin/internal/rtti"
+	"spin/internal/sched"
+	"spin/internal/vtime"
+)
+
+// Module is the transaction system's module descriptor.
+var Module = rtti.NewModule("Txn", "Txn")
+
+// Port is the UDP port the protocol runs on.
+const Port = 4099
+
+// Outcome is a finished transaction's fate.
+type Outcome int
+
+const (
+	// Pending transactions have not decided yet.
+	Pending Outcome = iota
+	// Committed transactions got unanimous yes votes.
+	Committed
+	// Aborted transactions saw a no vote or a timeout.
+	Aborted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Pending:
+		return "pending"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	}
+	return "outcome(?)"
+}
+
+// wire message kinds.
+const (
+	msgPrepare = "PREPARE"
+	msgVote    = "VOTE"
+	msgCommit  = "COMMIT"
+	msgAbort   = "ABORT"
+	msgAck     = "ACK"
+)
+
+// encode builds "KIND|txid|rest".
+func encode(kind string, txid uint64, rest string) []byte {
+	return []byte(kind + "|" + strconv.FormatUint(txid, 10) + "|" + rest)
+}
+
+// decode splits a protocol datagram.
+func decode(b []byte) (kind string, txid uint64, rest string, ok bool) {
+	parts := strings.SplitN(string(b), "|", 3)
+	if len(parts) != 3 {
+		return "", 0, "", false
+	}
+	id, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return "", 0, "", false
+	}
+	return parts[0], id, parts[2], true
+}
+
+// Participant runs the resource-manager side of 2PC on one machine.
+type Participant struct {
+	// Prepare, Commit and Abort are the phase events resource managers
+	// handle.
+	Prepare *dispatch.Event
+	Commit  *dispatch.Event
+	Abort   *dispatch.Event
+
+	sock   *netstack.UDPSocket
+	strand *sched.Strand
+
+	// Voted counts prepares answered; Applied counts commits applied.
+	Voted   int64
+	Applied int64
+}
+
+// NewParticipant binds the protocol port and defines the phase events.
+func NewParticipant(d *dispatch.Dispatcher, stack *netstack.Stack, s *sched.Scheduler, prefix string) (*Participant, error) {
+	p := &Participant{}
+	prepSig := rtti.Sig(rtti.Bool, rtti.Word, rtti.Text)
+	applySig := rtti.Sig(nil, rtti.Word, rtti.Text)
+
+	var err error
+	p.Prepare, err = d.DefineEvent(prefix+"Txn.Prepare", prepSig, dispatch.WithOwner(Module))
+	if err != nil {
+		return nil, err
+	}
+	// The participant's vote is the logical AND of all resource
+	// managers' answers.
+	if err := p.Prepare.SetResultHandler(func(acc, r any, i int) any {
+		b, _ := r.(bool)
+		if i == 0 {
+			return b
+		}
+		a, _ := acc.(bool)
+		return a && b
+	}); err != nil {
+		return nil, err
+	}
+	// No resource manager interested: vote yes by default.
+	err = p.Prepare.SetDefaultHandler(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Txn.DefaultVote", Module: Module, Sig: prepSig},
+		Fn:   func(any, []any) any { return true },
+	})
+	if err != nil {
+		return nil, err
+	}
+	if p.Commit, err = d.DefineEvent(prefix+"Txn.Commit", applySig, dispatch.WithOwner(Module)); err != nil {
+		return nil, err
+	}
+	if p.Abort, err = d.DefineEvent(prefix+"Txn.Abort", applySig, dispatch.WithOwner(Module)); err != nil {
+		return nil, err
+	}
+
+	if p.sock, err = stack.BindUDP(Port); err != nil {
+		return nil, err
+	}
+	p.strand = s.Spawn("txn-participant", 0, func(st *sched.Strand) sched.Status {
+		for {
+			pkt, ok := p.sock.Recv()
+			if !ok {
+				break
+			}
+			p.handle(pkt)
+		}
+		p.sock.AwaitPacket(st)
+		return sched.Block
+	})
+	return p, nil
+}
+
+// handle processes one protocol datagram at the participant.
+func (p *Participant) handle(pkt *netstack.Packet) {
+	kind, txid, rest, ok := decode(pkt.Payload)
+	if !ok {
+		return
+	}
+	reply := func(kind, rest string) {
+		_ = p.sock.Send(pkt.SrcIP, pkt.SrcPort, encode(kind, txid, rest))
+	}
+	switch kind {
+	case msgPrepare:
+		res, err := p.Prepare.Raise(txid, rest)
+		vote := err == nil
+		if b, isBool := res.(bool); vote && isBool {
+			vote = b
+		}
+		p.Voted++
+		if vote {
+			reply(msgVote, "yes")
+		} else {
+			reply(msgVote, "no")
+		}
+	case msgCommit:
+		_, _ = p.Commit.Raise(txid, rest)
+		p.Applied++
+		reply(msgAck, "")
+	case msgAbort:
+		_, _ = p.Abort.Raise(txid, rest)
+		reply(msgAck, "")
+	}
+}
+
+// Coordinator drives 2PC from its machine.
+type Coordinator struct {
+	sock   *netstack.UDPSocket
+	s      *sched.Scheduler
+	strand *sched.Strand
+	peers  []string // participant IPs
+	nextID uint64
+
+	// VoteTimeout aborts transactions whose votes do not all arrive in
+	// time (a crashed participant must not wedge the system).
+	VoteTimeout vtime.Duration
+
+	pending map[uint64]*txnState
+	// Decided holds finished transactions' outcomes.
+	Decided map[uint64]Outcome
+}
+
+type txnState struct {
+	op      string
+	yes, no int
+	acks    int
+	outcome Outcome
+	onDone  func(Outcome)
+}
+
+// NewCoordinator binds an ephemeral-style port (Port+1) on the
+// coordinator machine.
+func NewCoordinator(stack *netstack.Stack, s *sched.Scheduler, peers []string) (*Coordinator, error) {
+	c := &Coordinator{s: s, peers: peers,
+		VoteTimeout: vtime.Micros(50_000),
+		pending:     make(map[uint64]*txnState),
+		Decided:     make(map[uint64]Outcome)}
+	var err error
+	if c.sock, err = stack.BindUDP(Port + 1); err != nil {
+		return nil, err
+	}
+	c.strand = s.Spawn("txn-coordinator", 0, func(st *sched.Strand) sched.Status {
+		for {
+			pkt, ok := c.sock.Recv()
+			if !ok {
+				break
+			}
+			c.handle(pkt)
+		}
+		c.sock.AwaitPacket(st)
+		return sched.Block
+	})
+	return c, nil
+}
+
+// Begin starts a transaction applying op at every participant. onDone is
+// called (in simulation context) when the outcome is decided and
+// acknowledged.
+func (c *Coordinator) Begin(op string, onDone func(Outcome)) (uint64, error) {
+	c.nextID++
+	txid := c.nextID
+	st := &txnState{op: op, onDone: onDone}
+	c.pending[txid] = st
+	for _, ip := range c.peers {
+		if err := c.sock.Send(ip, Port, encode(msgPrepare, txid, op)); err != nil {
+			return 0, err
+		}
+	}
+	// A vote timeout converts a silent participant into an abort: a
+	// crashed machine must not wedge every transaction it touches.
+	if sim := c.s.Simulator(); sim != nil {
+		sim.After(c.VoteTimeout, func() {
+			st, ok := c.pending[txid]
+			if !ok || st.outcome != Pending {
+				return
+			}
+			if st.yes+st.no < len(c.peers) {
+				c.decide(txid, st, Aborted)
+			}
+		})
+	}
+	return txid, nil
+}
+
+// handle processes votes and acks at the coordinator.
+func (c *Coordinator) handle(pkt *netstack.Packet) {
+	kind, txid, rest, ok := decode(pkt.Payload)
+	if !ok {
+		return
+	}
+	st, live := c.pending[txid]
+	if !live {
+		return
+	}
+	switch kind {
+	case msgVote:
+		if st.outcome != Pending {
+			return
+		}
+		if rest == "yes" {
+			st.yes++
+		} else {
+			st.no++
+		}
+		if st.no > 0 {
+			c.decide(txid, st, Aborted)
+		} else if st.yes == len(c.peers) {
+			c.decide(txid, st, Committed)
+		}
+	case msgAck:
+		st.acks++
+		if st.acks >= len(c.peers) && st.outcome != Pending {
+			c.finalize(txid)
+		}
+	}
+}
+
+// finalize retires a decided transaction and notifies the caller. It is
+// reached either by the last acknowledgement or by the ack timeout (a
+// participant that never votes will not acknowledge the abort either).
+func (c *Coordinator) finalize(txid uint64) {
+	st, ok := c.pending[txid]
+	if !ok || st.outcome == Pending {
+		return
+	}
+	delete(c.pending, txid)
+	if st.onDone != nil {
+		st.onDone(st.outcome)
+	}
+}
+
+// decide broadcasts the outcome and arms the ack timeout.
+func (c *Coordinator) decide(txid uint64, st *txnState, o Outcome) {
+	st.outcome = o
+	c.Decided[txid] = o
+	kind := msgCommit
+	if o == Aborted {
+		kind = msgAbort
+	}
+	for _, ip := range c.peers {
+		_ = c.sock.Send(ip, Port, encode(kind, txid, st.op))
+	}
+	if sim := c.s.Simulator(); sim != nil {
+		sim.After(c.VoteTimeout, func() { c.finalize(txid) })
+	}
+}
+
+// Outcome reports a transaction's current fate.
+func (c *Coordinator) Outcome(txid uint64) Outcome {
+	if o, ok := c.Decided[txid]; ok {
+		return o
+	}
+	return Pending
+}
+
+// OpGuard builds a FUNCTIONAL guard admitting only operations whose text
+// has the given prefix — how a resource manager scopes itself to its own
+// objects ("bank:", "inventory:", ...).
+func OpGuard(prefix string) dispatch.Guard {
+	return dispatch.Guard{
+		Proc: &rtti.Proc{Name: "Txn.OpGuard", Module: Module, Functional: true,
+			Sig: rtti.Sig(rtti.Bool, rtti.Word, rtti.Text)},
+		Fn: func(clo any, args []any) bool {
+			op, _ := args[1].(string)
+			return strings.HasPrefix(op, prefix)
+		},
+	}
+}
+
+// String describes the coordinator state.
+func (c *Coordinator) String() string {
+	return fmt.Sprintf("txn coordinator: %d pending, %d decided", len(c.pending), len(c.Decided))
+}

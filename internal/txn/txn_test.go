@@ -1,0 +1,259 @@
+package txn
+
+import (
+	"fmt"
+	"testing"
+
+	"spin/internal/dispatch"
+	"spin/internal/kernel"
+	"spin/internal/netstack"
+	"spin/internal/netwire"
+	"spin/internal/rtti"
+	"spin/internal/vtime"
+)
+
+// rig: one coordinator machine and n participant machines on one segment.
+type rig struct {
+	coord  *kernel.Machine
+	c      *Coordinator
+	parts  []*Participant
+	pmachs []*kernel.Machine
+}
+
+func boot(t *testing.T, n int) *rig {
+	t.Helper()
+	r := &rig{}
+	var err error
+	r.coord, err = kernel.Boot(kernel.Config{Name: "coord", Metered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := netwire.NewLink(r.coord.Sim, 0, 0)
+	arp := map[string]string{"10.2.0.1": "mac-c"}
+	for i := 0; i < n; i++ {
+		arp[fmt.Sprintf("10.2.0.%d", i+2)] = fmt.Sprintf("mac-p%d", i)
+	}
+	nicC, _ := link.Attach("mac-c")
+	sc, err := netstack.New(netstack.Config{Dispatcher: r.coord.Dispatcher,
+		CPU: r.coord.CPU, Sched: r.coord.Sched, NIC: nicC, IP: "10.2.0.1", ARP: arp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peers []string
+	for i := 0; i < n; i++ {
+		m, err := kernel.Boot(kernel.Config{Name: fmt.Sprintf("p%d", i), ShareWith: r.coord})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nic, _ := link.Attach(fmt.Sprintf("mac-p%d", i))
+		ip := fmt.Sprintf("10.2.0.%d", i+2)
+		stack, err := netstack.New(netstack.Config{Dispatcher: m.Dispatcher,
+			CPU: m.CPU, Sched: m.Sched, NIC: nic, IP: ip, ARP: arp,
+			Prefix: fmt.Sprintf("p%d:", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewParticipant(m.Dispatcher, stack, m.Sched, fmt.Sprintf("p%d:", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.parts = append(r.parts, p)
+		r.pmachs = append(r.pmachs, m)
+		peers = append(peers, ip)
+	}
+	r.c, err = NewCoordinator(sc, r.coord.Sched, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// rm installs a resource manager voting via vote() and recording applies.
+func rm(t *testing.T, p *Participant, guard *dispatch.Guard, vote func(op string) bool, applied *[]string) {
+	t.Helper()
+	prepSig := p.Prepare.Signature()
+	applySig := p.Commit.Signature()
+	var opts []dispatch.InstallOption
+	if guard != nil {
+		opts = append(opts, dispatch.WithGuard(*guard))
+	}
+	_, err := p.Prepare.Install(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "RM.Prepare", Module: Module, Sig: prepSig},
+		Fn: func(clo any, args []any) any {
+			return vote(args[1].(string))
+		},
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Commit.Install(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "RM.Commit", Module: Module, Sig: applySig},
+		Fn: func(clo any, args []any) any {
+			*applied = append(*applied, args[1].(string))
+			return nil
+		},
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnanimousCommit(t *testing.T) {
+	r := boot(t, 2)
+	var applied0, applied1 []string
+	rm(t, r.parts[0], nil, func(string) bool { return true }, &applied0)
+	rm(t, r.parts[1], nil, func(string) bool { return true }, &applied1)
+
+	var outcome Outcome
+	txid, err := r.c.Begin("bank:transfer 100", func(o Outcome) { outcome = o })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.coord.Sim.Run(0)
+	if outcome != Committed || r.c.Outcome(txid) != Committed {
+		t.Fatalf("outcome = %v", outcome)
+	}
+	if len(applied0) != 1 || len(applied1) != 1 || applied0[0] != "bank:transfer 100" {
+		t.Fatalf("applied: %v / %v", applied0, applied1)
+	}
+	if r.parts[0].Voted != 1 || r.parts[0].Applied != 1 {
+		t.Fatalf("participant counters: %d/%d", r.parts[0].Voted, r.parts[0].Applied)
+	}
+}
+
+func TestOneNoVoteAborts(t *testing.T) {
+	r := boot(t, 3)
+	var a0, a1, a2 []string
+	rm(t, r.parts[0], nil, func(string) bool { return true }, &a0)
+	rm(t, r.parts[1], nil, func(string) bool { return false }, &a1) // refuses
+	rm(t, r.parts[2], nil, func(string) bool { return true }, &a2)
+
+	var outcome Outcome
+	_, _ = r.c.Begin("bank:overdraw", func(o Outcome) { outcome = o })
+	r.coord.Sim.Run(0)
+	if outcome != Aborted {
+		t.Fatalf("outcome = %v", outcome)
+	}
+	if len(a0)+len(a1)+len(a2) != 0 {
+		t.Fatal("aborted transaction applied changes")
+	}
+}
+
+func TestANDResultHandlerWithinParticipant(t *testing.T) {
+	// Two resource managers on ONE participant: the vote is their AND.
+	r := boot(t, 1)
+	var applied []string
+	rm(t, r.parts[0], nil, func(string) bool { return true }, &applied)
+	rm(t, r.parts[0], nil, func(string) bool { return false }, &applied)
+	var outcome Outcome
+	_, _ = r.c.Begin("op", func(o Outcome) { outcome = o })
+	r.coord.Sim.Run(0)
+	if outcome != Aborted {
+		t.Fatalf("AND vote: outcome = %v", outcome)
+	}
+}
+
+func TestDefaultVoteWhenNoResourceManagerCares(t *testing.T) {
+	// A guarded RM that ignores the operation: the default handler votes
+	// yes and the transaction commits.
+	r := boot(t, 1)
+	var applied []string
+	g := OpGuard("inventory:")
+	rm(t, r.parts[0], &g, func(string) bool { return false }, &applied)
+	var outcome Outcome
+	_, _ = r.c.Begin("bank:deposit", func(o Outcome) { outcome = o })
+	r.coord.Sim.Run(0)
+	if outcome != Committed {
+		t.Fatalf("default vote: outcome = %v", outcome)
+	}
+	if len(applied) != 0 {
+		t.Fatal("guarded RM applied a foreign operation")
+	}
+}
+
+func TestGuardScopesResourceManager(t *testing.T) {
+	r := boot(t, 1)
+	var bank, inv []string
+	bg := OpGuard("bank:")
+	ig := OpGuard("inventory:")
+	rm(t, r.parts[0], &bg, func(string) bool { return true }, &bank)
+	rm(t, r.parts[0], &ig, func(string) bool { return true }, &inv)
+	_, _ = r.c.Begin("bank:credit 5", nil)
+	_, _ = r.c.Begin("inventory:add widget", nil)
+	r.coord.Sim.Run(0)
+	if len(bank) != 1 || len(inv) != 1 {
+		t.Fatalf("bank=%v inv=%v", bank, inv)
+	}
+	if bank[0] != "bank:credit 5" || inv[0] != "inventory:add widget" {
+		t.Fatalf("misrouted: bank=%v inv=%v", bank, inv)
+	}
+}
+
+func TestSilentParticipantTimesOutToAbort(t *testing.T) {
+	r := boot(t, 2)
+	var applied []string
+	rm(t, r.parts[0], nil, func(string) bool { return true }, &applied)
+	// Participant 1 "crashes": its socket stops answering.
+	if err := r.parts[1].sock.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var outcome Outcome
+	start := r.coord.Clock.Now()
+	_, _ = r.c.Begin("op", func(o Outcome) { outcome = o })
+	r.coord.Sim.Run(0)
+	// The healthy participant acked the abort; the outcome decided at
+	// the vote timeout.
+	if outcome != Aborted {
+		t.Fatalf("outcome = %v", outcome)
+	}
+	if len(applied) != 0 {
+		t.Fatal("timed-out transaction applied")
+	}
+	elapsed := vtime.InMicros(r.coord.Clock.Now().Sub(start))
+	if elapsed < vtime.InMicros(r.c.VoteTimeout) {
+		t.Fatalf("decided before the vote timeout: %.0fus", elapsed)
+	}
+}
+
+func TestSequentialTransactions(t *testing.T) {
+	r := boot(t, 2)
+	var a0, a1 []string
+	rm(t, r.parts[0], nil, func(op string) bool { return op != "bad" }, &a0)
+	rm(t, r.parts[1], nil, func(string) bool { return true }, &a1)
+	outcomes := map[uint64]Outcome{}
+	for i, op := range []string{"one", "bad", "three"} {
+		txid, err := r.c.Begin(op, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.coord.Sim.Run(0)
+		outcomes[txid] = r.c.Outcome(txid)
+		_ = i
+	}
+	if outcomes[1] != Committed || outcomes[2] != Aborted || outcomes[3] != Committed {
+		t.Fatalf("outcomes = %v", outcomes)
+	}
+	if len(a0) != 2 || len(a1) != 2 {
+		t.Fatalf("applied: %v / %v", a0, a1)
+	}
+	if r.c.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestWireCodec(t *testing.T) {
+	kind, id, rest, ok := decode(encode(msgPrepare, 42, "bank:op|with|pipes"))
+	if !ok || kind != msgPrepare || id != 42 || rest != "bank:op|with|pipes" {
+		t.Fatalf("roundtrip: %q %d %q %v", kind, id, rest, ok)
+	}
+	for _, bad := range []string{"", "X", "X|notanumber|y", "X|1"} {
+		if _, _, _, ok := decode([]byte(bad)); ok {
+			t.Errorf("decode(%q) accepted", bad)
+		}
+	}
+	for _, o := range []Outcome{Pending, Committed, Aborted, Outcome(9)} {
+		if o.String() == "" {
+			t.Error("empty outcome name")
+		}
+	}
+}

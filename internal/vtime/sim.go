@@ -1,0 +1,138 @@
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Simulator is a discrete-event scheduler over a virtual clock. Substrates
+// that need to act "later" in virtual time — wire delivery in netwire,
+// timer expiry in the scheduler, asynchronous event raises in metered mode —
+// enqueue callbacks at future instants; Run drains the queue, advancing the
+// clock to each event's time before invoking it.
+//
+// The simulator is deliberately single-threaded: one goroutine calls Run (or
+// Step) and all callbacks execute on it. This mirrors the paper's
+// measurement setup, where the two machines in the UDP experiment alternate
+// between processing and idling on the wire, and it makes virtual-time
+// accounting deterministic.
+type Simulator struct {
+	clock *Clock
+	queue eventHeap
+	seq   uint64
+	// idleSink, when non-nil, receives the duration of every clock jump
+	// performed by the simulator while dequeuing (time during which no
+	// code executed). The document-preview workload points this at its
+	// CPU meter so idle time shows up in the §3.2 breakdown.
+	idleSink *CPU
+}
+
+// NewSimulator creates a simulator over clock.
+func NewSimulator(clock *Clock) *Simulator {
+	return &Simulator{clock: clock}
+}
+
+// Clock returns the simulator's clock.
+func (s *Simulator) Clock() *Clock { return s.clock }
+
+// AccountIdleTo directs clock jumps (gaps with nothing scheduled to run) to
+// cpu's idle account.
+func (s *Simulator) AccountIdleTo(cpu *CPU) { s.idleSink = cpu }
+
+// At schedules fn to run at instant t. Scheduling in the past (before the
+// current clock reading) panics: it would require time travel and always
+// indicates a substrate bug.
+func (s *Simulator) At(t Time, fn func()) {
+	if fn == nil {
+		panic("vtime: Simulator.At with nil callback")
+	}
+	if t < s.clock.Now() {
+		panic(fmt.Sprintf("vtime: event scheduled at %v, before now %v", t, s.clock.Now()))
+	}
+	s.seq++
+	heap.Push(&s.queue, &simEvent{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current instant.
+func (s *Simulator) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.clock.Now().Add(d), fn)
+}
+
+// Pending reports the number of scheduled, not-yet-run events.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Step runs the single earliest pending event, advancing the clock to its
+// scheduled time first. It reports whether an event ran.
+func (s *Simulator) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*simEvent)
+	if gap := ev.at.Sub(s.clock.Now()); gap > 0 {
+		s.idleSink.Idle(gap)
+	}
+	s.clock.AdvanceTo(ev.at)
+	ev.fn()
+	return true
+}
+
+// Run drains the event queue. Callbacks may schedule further events; Run
+// returns only when nothing remains. The limit guards against runaway
+// simulations: Run panics after limit steps if limit > 0.
+func (s *Simulator) Run(limit int) {
+	steps := 0
+	for s.Step() {
+		steps++
+		if limit > 0 && steps >= limit {
+			panic(fmt.Sprintf("vtime: simulation exceeded %d steps", limit))
+		}
+	}
+}
+
+// RunUntil drains events scheduled at or before deadline, leaving later
+// events queued. It returns the number of events run.
+func (s *Simulator) RunUntil(deadline Time) int {
+	n := 0
+	for s.queue.Len() > 0 && s.queue[0].at <= deadline {
+		s.Step()
+		n++
+	}
+	if gap := deadline.Sub(s.clock.Now()); gap > 0 {
+		s.idleSink.Idle(gap)
+		s.clock.AdvanceTo(deadline)
+	}
+	return n
+}
+
+type simEvent struct {
+	at  Time
+	seq uint64 // FIFO tiebreak for simultaneous events
+	fn  func()
+}
+
+type eventHeap []*simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*simEvent)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,130 @@
+package x11
+
+import (
+	"strings"
+	"testing"
+
+	"spin/internal/vtime"
+)
+
+// TestPreviewApproximatesTable3 runs the calibrated workload and checks
+// each regenerated row lands near the paper's Table 3. Exact counts (the
+// three OsfNet raises, 24 UDP datagrams, 7 ARP frames) are pinned; traffic
+// and scheduling volumes are checked within bands.
+func TestPreviewApproximatesTable3(t *testing.T) {
+	r, err := Run(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+
+	rows := map[string]Row{}
+	for _, row := range r.Rows {
+		rows[row.Event] = row
+	}
+	within := func(name string, got, want, tolPct int64) {
+		t.Helper()
+		lo := want - want*tolPct/100
+		hi := want + want*tolPct/100
+		if got < lo || got > hi {
+			t.Errorf("%s raised = %d, want %d +-%d%%", name, got, want, tolPct)
+		}
+	}
+	// Paper Table 3 counts.
+	within("Ether.PacketArrived", rows["Ether.PacketArrived"].Raised, 2536, 15)
+	within("Ip.PacketArrived", rows["Ip.PacketArrived"].Raised, 2529, 15)
+	within("Tcp.PacketArrived", rows["Tcp.PacketArrived"].Raised, 2505, 15)
+	within("MachineTrap.Syscall", rows["MachineTrap.Syscall"].Raised, 3976, 25)
+	within("Strand.Run", rows["Strand.Run"].Raised, 7936, 25)
+	within("Events.EventNotify", rows["Events.EventNotify"].Raised, 595, 40)
+	if got := rows["Udp.PacketArrived"].Raised; got != 24 {
+		t.Errorf("Udp raised = %d, want 24", got)
+	}
+	if got := rows["OsfNet.AddTcpPortHandler"].Raised; got != 3 {
+		t.Errorf("AddTcpPortHandler raised = %d, want 3", got)
+	}
+	if got := rows["OsfNet.DelTcpPortHandler"].Raised; got != 3 {
+		t.Errorf("DelTcpPortHandler raised = %d, want 3", got)
+	}
+
+	// Handler/guard census must match the paper exactly.
+	censusWant := map[string][2]int{
+		"Ether.PacketArrived":      {4, 3},
+		"Ip.PacketArrived":         {6, 5},
+		"Udp.PacketArrived":        {6, 5},
+		"Tcp.PacketArrived":        {2, 1},
+		"OsfNet.DelTcpPortHandler": {1, 0},
+		"OsfNet.AddTcpPortHandler": {1, 0},
+		"MachineTrap.Syscall":      {3, 2},
+		"Strand.Run":               {4, 3},
+		"Events.EventNotify":       {2, 2},
+	}
+	for name, want := range censusWant {
+		row := rows[name]
+		if row.Handlers != want[0] || row.Guards != want[1] {
+			t.Errorf("%s handlers/guards = %d/%d, want %d/%d",
+				name, row.Handlers, row.Guards, want[0], want[1])
+		}
+	}
+
+	// Breakdown: total ~23.5s, idle dominates, events well under 1%.
+	sec := func(d vtime.Duration) float64 { return float64(d) / 1e9 }
+	if got := sec(r.Total); got < 20 || got > 27 {
+		t.Errorf("total = %.2fs, want ~23.5", got)
+	}
+	if got := sec(r.Idle); got < 10 || got > 16 {
+		t.Errorf("idle = %.2fs, want ~12.5", got)
+	}
+	if got := sec(r.User); got < 3.3 || got > 5.1 {
+		t.Errorf("user = %.2fs, want ~4.2", got)
+	}
+	if got := sec(r.Kernel); got < 5.4 || got > 8.2 {
+		t.Errorf("kernel = %.2fs, want ~6.8", got)
+	}
+	if r.Events <= 0 || sec(r.Events) > 0.3 {
+		t.Errorf("events = %.3fs, want small and positive", sec(r.Events))
+	}
+
+	// Workload integrity.
+	if r.PagesShown != 12 {
+		t.Errorf("pages shown = %d", r.PagesShown)
+	}
+	if r.BytesReceived != int64(12*285_000) {
+		t.Errorf("bytes = %d", r.BytesReceived)
+	}
+	if r.TracedSyscalls == 0 {
+		t.Error("async syscall tracer never ran")
+	}
+	if !strings.Contains(r.String(), "Ether.PacketArrived") {
+		t.Error("String() missing rows")
+	}
+}
+
+func TestPreviewSmallConfiguration(t *testing.T) {
+	// A scaled-down preview still completes and keeps the invariant
+	// Ether = Ip + ARP and Ip = Tcp + Udp.
+	r, err := Run(Params{
+		Pages: 2, PageBytes: 30_000, PageInterval: vtime.Micros(100_000),
+		UDPDatagrams: 4, ArpFrames: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]Row{}
+	for _, row := range r.Rows {
+		rows[row.Event] = row
+	}
+	ether := rows["Ether.PacketArrived"].Raised
+	ip := rows["Ip.PacketArrived"].Raised
+	tcp := rows["Tcp.PacketArrived"].Raised
+	udp := rows["Udp.PacketArrived"].Raised
+	if ether != ip+2 {
+		t.Errorf("ether=%d ip=%d arp=2", ether, ip)
+	}
+	if ip != tcp+udp {
+		t.Errorf("ip=%d tcp=%d udp=%d", ip, tcp, udp)
+	}
+	if r.PagesShown != 2 {
+		t.Errorf("pages = %d", r.PagesShown)
+	}
+}

@@ -1,0 +1,284 @@
+package spin
+
+import (
+	"errors"
+	"testing"
+
+	"spin/internal/dispatch"
+)
+
+var testMod = NewModule("SpinTest")
+
+func TestTypedEvent2ProcedureFeel(t *testing.T) {
+	d := NewDispatcher()
+	ev, err := NewEvent2[uint64, string](d, "M.P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotW uint64
+	var gotS string
+	if _, err := ev.Install("M.H", testMod, func(w uint64, s string) {
+		gotW, gotS = w, s
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Raise(42, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if gotW != 42 || gotS != "hello" {
+		t.Fatalf("handler saw (%d, %q)", gotW, gotS)
+	}
+	// The derived signature maps uint64 -> WORD, string -> TEXT.
+	sig := ev.Underlying().Signature()
+	if sig.Args[0] != Word || sig.Args[1] != Text {
+		t.Fatalf("derived signature = %v", sig)
+	}
+}
+
+func TestTypedGuard(t *testing.T) {
+	d := NewDispatcher()
+	ev, _ := NewEvent1[uint64](d, "Trap.Syscall")
+	fired := 0
+	g := ev.Guard("IsMach", testMod, func(n uint64) bool { return n < 100 })
+	if _, err := ev.Install("Mach.H", testMod, func(n uint64) { fired++ }, WithGuard(g)); err != nil {
+		t.Fatal(err)
+	}
+	_ = ev.Raise(50)
+	if err := ev.Raise(500); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("unguarded raise err = %v", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+}
+
+func TestTypedFuncEvent(t *testing.T) {
+	d := NewDispatcher()
+	ev, err := NewFuncEvent2[uint64, uint64, bool](d, "VM.PageFault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Underlying().SetResultHandler(func(acc, r any, i int) any {
+		a, _ := acc.(bool)
+		b, _ := r.(bool)
+		return a || b
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = ev.Install("P1", testMod, func(space, addr uint64) bool { return false })
+	_, _ = ev.Install("P2", testMod, func(space, addr uint64) bool { return addr < 0x1000 })
+	ok, err := ev.Raise(1, 0x500)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	ok, err = ev.Raise(1, 0x2000)
+	if err != nil || ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+}
+
+func TestTypedEvent0And3(t *testing.T) {
+	d := NewDispatcher()
+	e0, err := NewEvent0(d, "M.Tick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := 0
+	_, _ = e0.Install("H", testMod, func() { ticks++ })
+	_ = e0.Raise()
+	if ticks != 1 {
+		t.Fatal("Event0 broken")
+	}
+	e3, err := NewEvent3[uint64, string, bool](d, "M.Three")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum string
+	g := e3.Guard("G", testMod, func(n uint64, s string, b bool) bool { return b })
+	_, _ = e3.Install("H3", testMod, func(n uint64, s string, b bool) { sum = s }, WithGuard(g))
+	_ = e3.Raise(1, "yes", true)
+	if err := e3.Raise(1, "no", false); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("err = %v", err)
+	}
+	if sum != "yes" {
+		t.Fatalf("sum = %q", sum)
+	}
+}
+
+func TestTypedFuncEvent0And1(t *testing.T) {
+	d := NewDispatcher()
+	f0, err := NewFuncEvent0[uint64](d, "M.Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = f0.Install("H", testMod, func() uint64 { return 7 })
+	v, err := f0.Raise()
+	if err != nil || v != 7 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+	f1, err := NewFuncEvent1[string, uint64](d, "M.Len")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := f1.Guard("NonEmpty", testMod, func(s string) bool { return s != "" })
+	_, _ = f1.Install("H", testMod, func(s string) uint64 { return uint64(len(s)) }, WithGuard(g))
+	n, err := f1.Raise("four")
+	if err != nil || n != 4 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if _, err := f1.Raise(""); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUntypedAndTypedInterop(t *testing.T) {
+	// A typed event is just a view over the untyped one: untyped
+	// handlers and typed handlers coexist on the same event.
+	d := NewDispatcher()
+	ev, _ := NewEvent1[uint64](d, "M.P")
+	typedFired, untypedFired := 0, 0
+	_, _ = ev.Install("T", testMod, func(uint64) { typedFired++ })
+	raw := ev.Underlying()
+	_, err := raw.Install(Handler{
+		Proc: &Proc{Name: "U", Module: testMod, Sig: raw.Signature()},
+		Fn:   func(clo any, args []any) any { untypedFired++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ev.Raise(1)
+	if typedFired != 1 || untypedFired != 1 {
+		t.Fatalf("typed=%d untyped=%d", typedFired, untypedFired)
+	}
+}
+
+func TestPredicateGuardsThroughFacade(t *testing.T) {
+	d := NewDispatcher()
+	ev, _ := NewEvent1[uint64](d, "Udp.PacketArrived")
+	fired := 0
+	_, err := ev.Install("Sock", testMod, func(uint64) { fired++ },
+		WithGuard(Guard{Pred: PredArgEq(0, 80)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ev.Raise(80)
+	_ = ev.Raise(443)
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	// Composite predicates.
+	p := PredAnd(PredNot(PredFalse()), PredOr(PredArgLt(0, 10), PredArgNe(0, 99)))
+	if !p.Eval([]any{uint64(5)}) {
+		t.Fatal("composite predicate broken")
+	}
+}
+
+func TestBootThroughFacade(t *testing.T) {
+	m, err := Boot(MachineConfig{Name: "facade", Metered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dispatcher == nil || m.Sched == nil {
+		t.Fatal("machine incomplete")
+	}
+	if _, ok := m.Dispatcher.Lookup("Strand.Run"); !ok {
+		t.Fatal("core events missing")
+	}
+}
+
+func TestOrderingThroughFacade(t *testing.T) {
+	d := NewDispatcher()
+	ev, _ := NewEvent0(d, "M.P")
+	var tr []string
+	_, _ = ev.Install("A", testMod, func() { tr = append(tr, "a") })
+	_, _ = ev.Install("B", testMod, func() { tr = append(tr, "b") }, First())
+	_ = ev.Raise()
+	if len(tr) != 2 || tr[0] != "b" {
+		t.Fatalf("trace = %v", tr)
+	}
+}
+
+func TestSigHelper(t *testing.T) {
+	s := Sig(Bool, Word, Text)
+	if s.Arity() != 2 || !s.HasResult() {
+		t.Fatal("Sig helper broken")
+	}
+	if Micros(1) != 1000 {
+		t.Fatal("Micros broken")
+	}
+}
+
+func TestBodyConstructorsThroughFacade(t *testing.T) {
+	d := NewDispatcher()
+	ev, _ := d.DefineEvent("M.P", Sig(Word))
+	_, err := ev.Install(Handler{
+		Proc:   &Proc{Name: "H", Module: testMod, Sig: Sig(Word)},
+		Inline: BodyReturnConst(uint64(7)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ev.Raise()
+	if err != nil || res != uint64(7) {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+	if BodyNop() == nil || BodyReturnArg(0) == nil {
+		t.Fatal("body constructors broken")
+	}
+}
+
+func TestTypedRaiseAsync(t *testing.T) {
+	d := NewDispatcher(syncFacadeSpawner())
+	ev, _ := NewEvent1[uint64](d, "M.P")
+	got := uint64(0)
+	_, _ = ev.Install("H", testMod, func(v uint64) { got = v })
+	if err := ev.RaiseAsync(9); err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Fatalf("got = %d", got)
+	}
+	ev2, _ := NewEvent2[uint64, uint64](d, "M.P2")
+	got2 := uint64(0)
+	_, _ = ev2.Install("H", testMod, func(a, b uint64) { got2 = a + b })
+	if err := ev2.RaiseAsync(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got2 != 7 {
+		t.Fatalf("got2 = %d", got2)
+	}
+}
+
+func syncFacadeSpawner() dispatchOption {
+	return dispatch.WithSpawner(func(fn func()) { fn() })
+}
+
+type dispatchOption = dispatch.Option
+
+func TestFacadeErrorsAndTypes(t *testing.T) {
+	if ErrNoHandler == nil || ErrAmbiguousResult == nil || ErrNotAuthority == nil ||
+		ErrDenied == nil || ErrAsyncByRef == nil || ErrLinkDenied == nil {
+		t.Fatal("error re-exports missing")
+	}
+	if Word == nil || Bool == nil || Text == nil || RefAny == nil {
+		t.Fatal("type singletons missing")
+	}
+	if NewInterface("I", testMod) == nil {
+		t.Fatal("NewInterface broken")
+	}
+}
+
+func TestFuncEventUnderlyings(t *testing.T) {
+	d := NewDispatcher()
+	f0, _ := NewFuncEvent0[uint64](d, "F0")
+	f1, _ := NewFuncEvent1[uint64, uint64](d, "F1")
+	f2, _ := NewFuncEvent2[uint64, uint64, bool](d, "F2")
+	e0, _ := NewEvent0(d, "E0")
+	e3, _ := NewEvent3[uint64, uint64, uint64](d, "E3")
+	for _, u := range []*Event{f0.Underlying(), f1.Underlying(), f2.Underlying(),
+		e0.Underlying(), e3.Underlying()} {
+		if u == nil {
+			t.Fatal("nil underlying")
+		}
+	}
+}
