@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: check vet build test race bench tables json
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The dispatcher and codegen packages are the concurrency-sensitive core:
+# plan swaps race against raises, and the striped counters race against
+# Stats(). Run them under the race detector.
+race:
+	$(GO) test -race ./internal/dispatch/ ./internal/codegen/
+
+# Native (wall-clock) microbenchmarks, including the zero-allocation
+# parallel raise path.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Calibrated virtual-time reproductions of the paper's tables.
+tables:
+	$(GO) run ./cmd/spinbench -table all
+
+# Machine-readable virtual-time results (seeds BENCH_dispatch.json).
+json:
+	$(GO) run ./cmd/spinbench -json

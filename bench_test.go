@@ -92,6 +92,7 @@ func BenchmarkTable1ProcedureCall(b *testing.B) {
 				b.Fatal(err)
 			}
 			av := benchArgs(args)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := ev.Raise(av...); err != nil {
@@ -115,6 +116,7 @@ func BenchmarkTable1Dispatch(b *testing.B) {
 				b.Run(fmt.Sprintf("args=%d/handlers=%d/%s", args, handlers, mode), func(b *testing.B) {
 					ev := buildEvent(b, args, handlers, inline)
 					av := benchArgs(args)
+					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
 						if _, err := ev.Raise(av...); err != nil {
@@ -402,5 +404,73 @@ func BenchmarkTypedOverhead(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_, _ = ev.Raise(uint64(1), uint64(2))
 		}
+	})
+}
+
+// BenchmarkRaiseParallel measures multicore raise throughput on one hot
+// event — the fast-path target of the zero-allocation work: cached env,
+// striped statistics counters, and no per-raise heap traffic. Run with
+// -cpu 1,2,4,8 to see scaling; the pre-optimization baseline (per-raise
+// env allocation plus shared atomic counters) is recorded in
+// BENCH_dispatch.json.
+func BenchmarkRaiseParallel(b *testing.B) {
+	b.Run("bypass", func(b *testing.B) {
+		for _, args := range []int{0, 2} {
+			b.Run(fmt.Sprintf("args=%d", args), func(b *testing.B) {
+				d := dispatch.New()
+				ev, err := d.DefineEvent("Bench.Par", benchSig(args),
+					dispatch.WithIntrinsic(dispatch.Handler{
+						Proc: &rtti.Proc{Name: "P", Module: benchMod, Sig: benchSig(args)},
+						Fn:   func(any, []any) any { return nil },
+					}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				av := benchArgs(args)
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if _, err := ev.Raise(av...); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
+	})
+	b.Run("inline-plan", func(b *testing.B) {
+		ev := buildEvent(b, 1, 5, true)
+		av := benchArgs(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := ev.Raise(av...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("typed-arity", func(b *testing.B) {
+		d := NewDispatcher()
+		ev, err := NewEvent2[uint64, uint64](d, "Bench.ParTyped")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ev.Install("H", benchMod, func(a, c uint64) {}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				// Word arguments below 256 box allocation-free, so this
+				// exercises the pooled arity frame end to end.
+				if err := ev.Raise(1, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	})
 }

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,10 +29,18 @@ import (
 func main() {
 	table := flag.String("table", "all", "which table to regenerate: 1, 2, tree, install, async, micro, all")
 	disasm := flag.Bool("disasm", false, "show dispatch plan disassembly for representative events")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the formatted tables (seeds BENCH_dispatch.json)")
 	flag.Parse()
 
 	if *disasm {
 		showDisasm()
+		return
+	}
+	if *jsonOut {
+		if err := emitJSON(os.Stdout, *table); err != nil {
+			fmt.Fprintf(os.Stderr, "spinbench: json: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	run := func(name string, fn func() error) {
@@ -49,6 +58,119 @@ func main() {
 	run("install", installOverhead)
 	run("async", asyncOverhead)
 	run("micro", micro)
+}
+
+// jsonReport is the -json output shape: the same virtual-time measurements
+// the formatted tables print, keyed for machine consumption. It seeds the
+// perf-trajectory file BENCH_dispatch.json.
+type jsonReport struct {
+	Schema string      `json:"schema"`
+	Table1 *jsonTable1 `json:"table1,omitempty"`
+	// Table2Us maps "guards=N" to the UDP roundtrip in microseconds.
+	Table2Us map[string]float64 `json:"table2_us,omitempty"`
+	Install  *jsonInstall       `json:"install,omitempty"`
+	// AsyncUs maps "args=N" to the asynchronous raise overhead in
+	// microseconds.
+	AsyncUs map[string]float64 `json:"async_us,omitempty"`
+	Micro   *jsonMicro         `json:"micro,omitempty"`
+}
+
+type jsonTable1 struct {
+	// ProcCallUs maps "args=N" to the direct-call latency in microseconds.
+	ProcCallUs map[string]float64 `json:"proc_call_us"`
+	// NoInlineUs and InlineUs map "args=N/handlers=M" to dispatch latency
+	// in microseconds.
+	NoInlineUs map[string]float64 `json:"no_inline_us"`
+	InlineUs   map[string]float64 `json:"inline_us"`
+}
+
+type jsonInstall struct {
+	FirstUs    float64 `json:"first_us"`
+	Total100Us float64 `json:"total_100_us"`
+}
+
+type jsonMicro struct {
+	SyscallDirectUs    float64 `json:"syscall_direct_us"`
+	SyscallEventedUs   float64 `json:"syscall_evented_us"`
+	SyscallOverheadPct float64 `json:"syscall_overhead_pct"`
+	ThreadDirectUs     float64 `json:"thread_direct_us"`
+	ThreadEventedUs    float64 `json:"thread_evented_us"`
+	ThreadOverheadPct  float64 `json:"thread_overhead_pct"`
+}
+
+// emitJSON regenerates the selected tables and encodes them as one JSON
+// object on w.
+func emitJSON(w *os.File, table string) error {
+	want := func(name string) bool { return table == "all" || table == name }
+	rep := jsonReport{Schema: "spinbench/v1"}
+
+	if want("1") {
+		r, err := bench.Table1()
+		if err != nil {
+			return err
+		}
+		t1 := &jsonTable1{
+			ProcCallUs: map[string]float64{},
+			NoInlineUs: map[string]float64{},
+			InlineUs:   map[string]float64{},
+		}
+		for _, a := range r.Args {
+			t1.ProcCallUs[fmt.Sprintf("args=%d", a)] = r.ProcCall[a]
+			for _, h := range r.Handlers {
+				key := fmt.Sprintf("args=%d/handlers=%d", a, h)
+				t1.NoInlineUs[key] = r.NoInline[[2]int{a, h}]
+				t1.InlineUs[key] = r.Inline[[2]int{a, h}]
+			}
+		}
+		rep.Table1 = t1
+	}
+	if want("2") {
+		rep.Table2Us = map[string]float64{}
+		for _, guards := range []int{1, 5, 10, 50} {
+			rt, err := bench.Table2Roundtrip(guards)
+			if err != nil {
+				return err
+			}
+			rep.Table2Us[fmt.Sprintf("guards=%d", guards)] = vtime.InMicros(rt)
+		}
+	}
+	if want("install") {
+		first, total, err := bench.InstallOverhead(100)
+		if err != nil {
+			return err
+		}
+		rep.Install = &jsonInstall{
+			FirstUs:    vtime.InMicros(first),
+			Total100Us: vtime.InMicros(total),
+		}
+	}
+	if want("async") {
+		rep.AsyncUs = map[string]float64{}
+		for _, args := range []int{0, 1, 5} {
+			d, err := bench.AsyncOverhead(args)
+			if err != nil {
+				return err
+			}
+			rep.AsyncUs[fmt.Sprintf("args=%d", args)] = vtime.InMicros(d)
+		}
+	}
+	if want("micro") {
+		m, err := bench.Micro()
+		if err != nil {
+			return err
+		}
+		rep.Micro = &jsonMicro{
+			SyscallDirectUs:    vtime.InMicros(m.SyscallDirect),
+			SyscallEventedUs:   vtime.InMicros(m.SyscallEvented),
+			SyscallOverheadPct: m.SyscallOverheadPct(),
+			ThreadDirectUs:     vtime.InMicros(m.ThreadDirect),
+			ThreadEventedUs:    vtime.InMicros(m.ThreadEvented),
+			ThreadOverheadPct:  m.ThreadOverheadPct(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func table1() error {

@@ -124,6 +124,11 @@ type Plan struct {
 	defaultB  *Binding
 	allInline bool
 	hasFilter bool
+	// retains is set when some live binding (asynchronous or ephemeral)
+	// may hold the raise argument slice past the raise, so callers must
+	// not recycle it. Dispatcher fast paths consult RetainsArgs before
+	// reusing pooled argument buffers.
+	retains bool
 	// Bindings is the number of live bindings compiled into the plan,
 	// used by the dispatcher to charge the O(n) regeneration cost.
 	Bindings int
@@ -176,6 +181,9 @@ func Compile(info EventInfo, bindings []*Binding, resultFn ResultFn, defaultB *B
 		p.Bindings++
 		if b.Filter {
 			p.hasFilter = true
+		}
+		if b.Async || b.Ephemeral {
+			p.retains = true
 		}
 	}
 	p.allInline = !opts.DisableInline && len(p.steps) > 0
@@ -268,6 +276,13 @@ func reorderGuards(gs []Guard) []Guard {
 // execution entirely.
 func (p *Plan) Direct() *Binding { return p.direct }
 
+// RetainsArgs reports whether executing the plan may retain the raise
+// argument slice beyond the raise itself: an asynchronous handler runs on
+// another thread of control after the raiser proceeds, and an abandoned
+// EPHEMERAL handler keeps executing past its deadline. Callers that pool
+// argument buffers must pass such plans a private copy.
+func (p *Plan) RetainsArgs() bool { return p.retains }
+
 // Steps reports the number of live dispatch steps (for tests and
 // disassembly).
 func (p *Plan) Steps() int { return len(p.steps) }
@@ -312,7 +327,11 @@ func (p *Plan) Execute(env *Env, args []any) Outcome {
 
 	var out Outcome
 	var haveResult bool
-	// execStep runs one step whose guards have already passed.
+	// execStep runs one step whose guards have already passed. Synchronous
+	// handlers are called directly — routing them through invoker's
+	// deferred-call closure would heap-allocate on every raise; only the
+	// async and ephemeral paths, which genuinely need a detachable
+	// invocation, pay for one.
 	execStep := func(st *step) {
 		b := st.b
 		if b.Filter {
@@ -320,7 +339,7 @@ func (p *Plan) Execute(env *Env, args []any) Outcome {
 			// they neither produce results nor count as the event
 			// having been handled (§2.3 "Passing arguments").
 			p.chargeHandler(cpu, st)
-			_ = p.invoker(st, args)()
+			_ = st.call(args)
 			if env.OnFire != nil {
 				env.OnFire(b.Tag)
 			}
@@ -343,7 +362,7 @@ func (p *Plan) Execute(env *Env, args []any) Outcome {
 			res, completed = env.RunEphemeral(b.Tag, p.invoker(st, args))
 		} else {
 			p.chargeHandler(cpu, st)
-			res = p.invoker(st, args)()
+			res = st.call(args)
 		}
 		out.Fired++
 		if env.OnFire != nil {
@@ -444,8 +463,19 @@ func (p *Plan) chargeHandler(cpu *vtime.CPU, st *step) {
 	}
 }
 
-// invoker returns the handler invocation closure for a step — the "direct
-// procedure call" the unrolled routine makes.
+// call invokes the step's handler synchronously — the "direct procedure
+// call" the unrolled routine makes — with no intermediate closure.
+func (st *step) call(args []any) any {
+	b := st.b
+	if st.inline {
+		return b.Inline.Run(args)
+	}
+	return b.Fn(b.Closure, args)
+}
+
+// invoker returns the handler invocation closure for a step, used by the
+// asynchronous and ephemeral paths whose invocations outlive the loop
+// iteration.
 func (p *Plan) invoker(st *step, args []any) func() any {
 	b := st.b
 	if st.inline {

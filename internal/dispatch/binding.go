@@ -110,8 +110,10 @@ type Binding struct {
 	isDefault         bool
 	credential        any
 
-	installed    bool
-	fired        atomic.Int64
+	installed bool
+	// fired is striped: it is incremented on every firing of a hot
+	// binding, potentially from many cores at once (see stripe.go).
+	fired        stripedCounter
 	terminations atomic.Int64
 	terminated   atomic.Bool
 }

@@ -10,6 +10,21 @@ import (
 	"spin/internal/vtime"
 )
 
+// maxPooledArity bounds the arity the pooled raise buffers cover; wider
+// events fall back to the allocating variadic path.
+const maxPooledArity = 8
+
+// argPool recycles raise argument vectors for the arity-specialized
+// entry points (Raise0..Raise5), so a steady-state raise performs no heap
+// allocation. Buffers are returned only when the executed plan cannot
+// retain the argument slice past the raise (see Plan.RetainsArgs).
+var argPool = sync.Pool{
+	New: func() any {
+		b := make([]any, 0, maxPooledArity)
+		return &b
+	},
+}
+
 // Event is a dynamically bindable procedure name (§2.1 "Defining events").
 // Raising the event conditionally invokes the handlers installed on it; an
 // event with only its unguarded intrinsic handler dispatches as a direct
@@ -30,9 +45,18 @@ type Event struct {
 
 	plan atomic.Pointer[codegen.Plan]
 
-	raised     atomic.Int64
-	firedTotal atomic.Int64
-	timeNanos  atomic.Int64
+	// env is the event's execution environment, built once at definition
+	// time: its hooks capture only the event, so a single immutable value
+	// serves every raise (the per-raise construction it replaces was three
+	// heap allocations on the hot path).
+	env *codegen.Env
+
+	// Dispatch statistics are sharded across cache-line-padded stripes so
+	// parallel raises of one hot event do not serialize on a shared line;
+	// Stats aggregates them lazily.
+	raised     stripedCounter
+	firedTotal stripedCounter
+	timeNanos  stripedCounter
 }
 
 // EventOption configures an event at definition time.
@@ -84,6 +108,7 @@ func (d *Dispatcher) DefineEvent(name string, sig rtti.Signature, opts ...EventO
 		return nil, fmt.Errorf("%w: event %s", ErrAsyncByRef, name)
 	}
 	e := &Event{d: d, name: name, sig: sig, async: cfg.async, authority: cfg.owner}
+	e.env = e.newEnv()
 
 	if cfg.intrinsic != nil {
 		h := *cfg.intrinsic
@@ -241,26 +266,11 @@ func (e *Event) RaiseAsync(args ...any) error {
 	return nil
 }
 
-func (e *Event) raiseSync(args []any) (result any, err error) {
-	if err := e.checkArgs(args); err != nil {
-		return nil, err
-	}
-	e.raised.Add(1)
-	defer func() {
-		// The purity monitor reports a mutating FUNCTIONAL guard by
-		// panicking inside plan execution; surface it as an error at
-		// the raise point.
-		if r := recover(); r != nil {
-			if r == ErrGuardMutatedArgs {
-				result, err = nil, fmt.Errorf("%w: event %s", ErrGuardMutatedArgs, e.name)
-				return
-			}
-			panic(r)
-		}
-	}()
-
-	plan := e.plan.Load()
-	env := &codegen.Env{
+// newEnv builds the event's cached execution environment. Every hook
+// captures only the event, so the value is immutable across recompiles and
+// shared by all raises.
+func (e *Event) newEnv() *codegen.Env {
+	return &codegen.Env{
 		CPU:   e.d.cpu,
 		Spawn: e.d.spawn,
 		RunEphemeral: func(tag any, invoke func() any) (any, bool) {
@@ -278,15 +288,46 @@ func (e *Event) raiseSync(args []any) (result any, err error) {
 			}
 		},
 	}
+}
 
-	cpu := e.d.cpu
-	cpu.Begin(vtime.AccountEvents)
-	start := cpu.Now()
-	out := plan.Execute(env, args)
-	if cpu != nil {
-		e.timeNanos.Add(int64(cpu.Now().Sub(start)))
+func (e *Event) raiseSync(args []any) (any, error) {
+	return e.raiseWith(e.plan.Load(), args)
+}
+
+// raiseWith executes one synchronous raise against a specific plan. The
+// arity-specialized entry points pass the plan they inspected for argument
+// retention, so a concurrent plan swap cannot invalidate their decision to
+// recycle the argument buffer.
+func (e *Event) raiseWith(plan *codegen.Plan, args []any) (result any, err error) {
+	if err := e.checkArgs(args); err != nil {
+		return nil, err
 	}
-	cpu.End()
+	e.raised.Add(1)
+	defer func() {
+		// The purity monitor reports a mutating FUNCTIONAL guard by
+		// panicking inside plan execution; surface it as an error at
+		// the raise point.
+		if r := recover(); r != nil {
+			if r == ErrGuardMutatedArgs {
+				result, err = nil, fmt.Errorf("%w: event %s", ErrGuardMutatedArgs, e.name)
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	var out codegen.Outcome
+	if cpu := e.d.cpu; cpu == nil {
+		// Unmetered: skip all virtual-time accounting up front instead of
+		// paying a nil check per meter call inside the plan.
+		out = plan.Execute(e.env, args)
+	} else {
+		cpu.Begin(vtime.AccountEvents)
+		start := cpu.Now()
+		out = plan.Execute(e.env, args)
+		e.timeNanos.Add(int64(cpu.Now().Sub(start)))
+		cpu.End()
+	}
 
 	if out.Fired == 0 && !out.UsedDefault {
 		return nil, fmt.Errorf("%w: %s", ErrNoHandler, e.name)
@@ -295,6 +336,96 @@ func (e *Event) raiseSync(args []any) (result any, err error) {
 		return out.Result, fmt.Errorf("%w: %s", ErrAmbiguousResult, e.name)
 	}
 	return out.Result, nil
+}
+
+// raisePooled runs a synchronous raise over a pooled argument buffer,
+// falling back to a private copy when the plan may retain the slice past
+// the raise (asynchronous or ephemeral handlers).
+func (e *Event) raisePooled(bp *[]any) (any, error) {
+	args := *bp
+	plan := e.plan.Load()
+	if plan.RetainsArgs() {
+		// A spawned handler may still read args after the raise returns;
+		// give it a private copy and recycle the buffer immediately.
+		private := make([]any, len(args))
+		copy(private, args)
+		clear(args)
+		*bp = args[:0]
+		argPool.Put(bp)
+		return e.raiseWith(plan, private)
+	}
+	res, err := e.raiseWith(plan, args)
+	clear(args) // drop references so the pool does not pin arguments
+	*bp = args[:0]
+	argPool.Put(bp)
+	return res, err
+}
+
+// Raise0 raises a no-parameter event without allocating. It is the
+// arity-specialized fast path the typed Event0 wrapper uses; semantics are
+// identical to Raise().
+func (e *Event) Raise0() (any, error) {
+	if e.async {
+		return nil, e.RaiseAsync()
+	}
+	return e.raiseSync(nil)
+}
+
+// Raise1 raises the event with one argument through a pooled argument
+// frame; a steady-state raise performs no heap allocation. Semantics are
+// identical to Raise(a1).
+func (e *Event) Raise1(a1 any) (any, error) {
+	if e.async {
+		return nil, e.RaiseAsync(a1)
+	}
+	bp := argPool.Get().(*[]any)
+	*bp = append((*bp)[:0], a1)
+	return e.raisePooled(bp)
+}
+
+// Raise2 raises the event with two arguments through a pooled argument
+// frame. Semantics are identical to Raise(a1, a2).
+func (e *Event) Raise2(a1, a2 any) (any, error) {
+	if e.async {
+		return nil, e.RaiseAsync(a1, a2)
+	}
+	bp := argPool.Get().(*[]any)
+	*bp = append((*bp)[:0], a1, a2)
+	return e.raisePooled(bp)
+}
+
+// Raise3 raises the event with three arguments through a pooled argument
+// frame. Semantics are identical to Raise(a1, a2, a3).
+func (e *Event) Raise3(a1, a2, a3 any) (any, error) {
+	if e.async {
+		return nil, e.RaiseAsync(a1, a2, a3)
+	}
+	bp := argPool.Get().(*[]any)
+	*bp = append((*bp)[:0], a1, a2, a3)
+	return e.raisePooled(bp)
+}
+
+// Raise4 raises the event with four arguments through a pooled argument
+// frame. Semantics are identical to Raise(a1, a2, a3, a4).
+func (e *Event) Raise4(a1, a2, a3, a4 any) (any, error) {
+	if e.async {
+		return nil, e.RaiseAsync(a1, a2, a3, a4)
+	}
+	bp := argPool.Get().(*[]any)
+	*bp = append((*bp)[:0], a1, a2, a3, a4)
+	return e.raisePooled(bp)
+}
+
+// Raise5 raises the event with five arguments through a pooled argument
+// frame — the widest shape Table 1 sweeps. Semantics are identical to
+// Raise(a1, a2, a3, a4, a5).
+func (e *Event) Raise5(a1, a2, a3, a4, a5 any) (any, error) {
+	if e.async {
+		return nil, e.RaiseAsync(a1, a2, a3, a4, a5)
+	}
+	bp := argPool.Get().(*[]any)
+	*bp = append((*bp)[:0], a1, a2, a3, a4, a5)
+	return e.raisePooled(bp)
 }
 
 // checkArgs validates the raise argument vector: arity always, dynamic

@@ -1,0 +1,417 @@
+package dispatch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"spin/internal/codegen"
+	"spin/internal/rtti"
+)
+
+// Tests for the zero-allocation, multicore-scalable raise fast path: the
+// cached per-event Env, the arity-specialized Raise0..Raise5 entry points
+// with pooled argument frames, and the striped statistics counters.
+
+var fastMod = rtti.NewModule("RaiseFast")
+
+func fastSig(n int) rtti.Signature {
+	ts := make([]rtti.Type, n)
+	for i := range ts {
+		ts[i] = rtti.Word
+	}
+	return rtti.Sig(nil, ts...)
+}
+
+func fastHandler(n int) Handler {
+	return Handler{
+		Proc: &rtti.Proc{Name: "RaiseFast.H", Module: fastMod, Sig: fastSig(n)},
+		Fn:   func(any, []any) any { return nil },
+	}
+}
+
+// TestRaiseUnmeteredDispatcher is the nil-CPU consistency check: a raise on
+// a dispatcher without a meter must work, keep counting statistics, and
+// accumulate no virtual time.
+func TestRaiseUnmeteredDispatcher(t *testing.T) {
+	d := New() // no WithCPU: d.cpu is nil
+	if d.CPU() != nil {
+		t.Fatal("expected unmetered dispatcher")
+	}
+	ev, err := d.DefineEvent("Fast.Unmetered", fastSig(1),
+		WithIntrinsic(fastHandler(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := ev.Raise(uint64(i)); err != nil {
+			t.Fatalf("raise %d: %v", i, err)
+		}
+	}
+	if _, err := ev.Raise1(uint64(9)); err != nil {
+		t.Fatalf("Raise1: %v", err)
+	}
+	st := ev.Stats()
+	if st.Raised != 6 || st.Fired != 6 {
+		t.Fatalf("stats = %+v, want Raised=6 Fired=6", st)
+	}
+	if st.Time != 0 {
+		t.Fatalf("unmetered event accumulated virtual time %v", st.Time)
+	}
+}
+
+// TestRaiseBypassZeroAllocs asserts the single-intrinsic bypass raises with
+// zero heap allocations, both through the generic variadic path (with a
+// caller-owned argument vector) and through the arity-specialized path.
+func TestRaiseBypassZeroAllocs(t *testing.T) {
+	d := New()
+	ev, err := d.DefineEvent("Fast.Bypass", fastSig(2), WithIntrinsic(fastHandler(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	av := []any{uint64(1), uint64(2)}
+	if n := testing.AllocsPerRun(1000, func() { _, _ = ev.Raise(av...) }); n != 0 {
+		t.Errorf("bypass Raise(av...) allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { _, _ = ev.Raise2(uint64(1), uint64(2)) }); n != 0 {
+		t.Errorf("bypass Raise2 allocates %v/op, want 0", n)
+	}
+}
+
+// TestRaiseInlinePlanZeroAllocs asserts a guarded fully-inline dispatch
+// plan (the Table 1 inline configuration) raises with zero heap
+// allocations.
+func TestRaiseInlinePlanZeroAllocs(t *testing.T) {
+	d := New(WithCodegenOptions(codegen.Options{DisableBypass: true}))
+	ev, err := d.DefineEvent("Fast.Inline", fastSig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cell atomic.Uint64
+	for i := 0; i < 5; i++ {
+		if _, err := ev.Install(Handler{
+			Proc:   &rtti.Proc{Name: "RaiseFast.I", Module: fastMod, Sig: fastSig(2)},
+			Inline: codegen.Nop(),
+		}, WithGuard(Guard{Pred: codegen.GlobalEq(&cell, 0)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	av := []any{uint64(1), uint64(2)}
+	if n := testing.AllocsPerRun(1000, func() { _, _ = ev.Raise(av...) }); n != 0 {
+		t.Errorf("inline plan Raise(av...) allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { _, _ = ev.Raise2(uint64(1), uint64(2)) }); n != 0 {
+		t.Errorf("inline plan Raise2 allocates %v/op, want 0", n)
+	}
+	st := ev.Stats()
+	if st.Fired == 0 {
+		t.Fatal("handlers never fired")
+	}
+}
+
+// TestRaiseOutOfLinePlanZeroAllocs asserts the out-of-line (no-inline)
+// unrolled loop also raises without allocation: synchronous handlers are
+// called directly, not through a per-step closure.
+func TestRaiseOutOfLinePlanZeroAllocs(t *testing.T) {
+	d := New(WithCodegenOptions(codegen.Options{DisableBypass: true}))
+	ev, err := d.DefineEvent("Fast.OutOfLine", fastSig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ev.Install(fastHandler(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	av := []any{uint64(7)}
+	if n := testing.AllocsPerRun(1000, func() { _, _ = ev.Raise(av...) }); n != 0 {
+		t.Errorf("out-of-line Raise(av...) allocates %v/op, want 0", n)
+	}
+}
+
+// TestArityRaiseSemantics checks every arity entry point against the
+// variadic path: same argument values delivered, same errors surfaced.
+func TestArityRaiseSemantics(t *testing.T) {
+	for arity := 0; arity <= 5; arity++ {
+		t.Run(fmt.Sprintf("arity=%d", arity), func(t *testing.T) {
+			d := New()
+			var got []any
+			ev, err := d.DefineEvent("Fast.Arity", fastSig(arity),
+				WithIntrinsic(Handler{
+					Proc: &rtti.Proc{Name: "RaiseFast.A", Module: fastMod, Sig: fastSig(arity)},
+					Fn: func(_ any, args []any) any {
+						got = append([]any(nil), args...)
+						return nil
+					},
+				}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]any, arity)
+			for i := range want {
+				want[i] = uint64(100 + i)
+			}
+			switch arity {
+			case 0:
+				_, err = ev.Raise0()
+			case 1:
+				_, err = ev.Raise1(want[0])
+			case 2:
+				_, err = ev.Raise2(want[0], want[1])
+			case 3:
+				_, err = ev.Raise3(want[0], want[1], want[2])
+			case 4:
+				_, err = ev.Raise4(want[0], want[1], want[2], want[3])
+			case 5:
+				_, err = ev.Raise5(want[0], want[1], want[2], want[3], want[4])
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != arity {
+				t.Fatalf("handler saw %d args, want %d", len(got), arity)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("arg %d = %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestArityRaiseWrongArity confirms the specialized entry points still
+// enforce the signature arity like the variadic path does.
+func TestArityRaiseWrongArity(t *testing.T) {
+	d := New()
+	ev, err := d.DefineEvent("Fast.WrongArity", fastSig(2), WithIntrinsic(fastHandler(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Raise1(uint64(1)); err == nil {
+		t.Fatal("Raise1 on a two-argument event should fail")
+	}
+	if _, err := ev.Raise3(uint64(1), uint64(2), uint64(3)); err == nil {
+		t.Fatal("Raise3 on a two-argument event should fail")
+	}
+}
+
+// TestArityRaiseAsyncEvent confirms the fast path routes asynchronous
+// events through RaiseAsync, exactly as the variadic Raise does.
+func TestArityRaiseAsyncEvent(t *testing.T) {
+	ran := make(chan []any, 1)
+	d := New(WithSpawner(func(fn func()) { fn() }))
+	ev, err := d.DefineEvent("Fast.AsyncEvent", fastSig(1), AsAsync(),
+		WithIntrinsic(Handler{
+			Proc: &rtti.Proc{Name: "RaiseFast.AE", Module: fastMod, Sig: fastSig(1)},
+			Fn: func(_ any, args []any) any {
+				ran <- append([]any(nil), args...)
+				return nil
+			},
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Raise1(uint64(42)); err != nil {
+		t.Fatal(err)
+	}
+	got := <-ran
+	if len(got) != 1 || got[0] != uint64(42) {
+		t.Fatalf("async handler saw %v, want [42]", got)
+	}
+}
+
+// TestArityRaiseAsyncHandlerRetainsArgs is the pooled-buffer safety
+// property: when the plan contains an asynchronous handler, the argument
+// slice may be read after the raise returns, so the fast path must hand it
+// a private copy instead of recycling the pooled frame. A deferred spawner
+// maximizes the window between raise completion and handler execution.
+func TestArityRaiseAsyncHandlerRetainsArgs(t *testing.T) {
+	var pending []func()
+	d := New(WithSpawner(func(fn func()) { pending = append(pending, fn) }))
+	ev, err := d.DefineEvent("Fast.Retain", fastSig(1), WithIntrinsic(fastHandler(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []uint64
+	if _, err := ev.Install(Handler{
+		Proc: &rtti.Proc{Name: "RaiseFast.R", Module: fastMod, Sig: fastSig(1)},
+		Fn: func(_ any, args []any) any {
+			seen = append(seen, args[0].(uint64))
+			return nil
+		},
+	}, Async()); err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Plan().RetainsArgs() {
+		t.Fatal("plan with an async handler must report RetainsArgs")
+	}
+	const rounds = 16
+	for i := 0; i < rounds; i++ {
+		if _, err := ev.Raise1(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only now run the detached handlers: had the fast path recycled the
+	// buffers, later raises would have overwritten or cleared the args.
+	for _, fn := range pending {
+		fn()
+	}
+	if len(seen) != rounds {
+		t.Fatalf("async handler ran %d times, want %d", len(seen), rounds)
+	}
+	for i, v := range seen {
+		if v != uint64(i) {
+			t.Fatalf("async handler %d saw %d, want %d", i, v, i)
+		}
+	}
+}
+
+// TestStripedCountersAggregate checks Stats sums the counter stripes: many
+// goroutines raising concurrently must account for every raise and firing.
+func TestStripedCountersAggregate(t *testing.T) {
+	d := New()
+	ev, err := d.DefineEvent("Fast.Stripes", fastSig(0), WithIntrinsic(fastHandler(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := ev.Raise0(); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := ev.Stats()
+	if st.Raised != workers*perWorker {
+		t.Fatalf("Raised = %d, want %d", st.Raised, workers*perWorker)
+	}
+	if st.Fired != workers*perWorker {
+		t.Fatalf("Fired = %d, want %d", st.Fired, workers*perWorker)
+	}
+	if got := ev.IntrinsicBinding().Fired(); got != workers*perWorker {
+		t.Fatalf("binding Fired = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestConcurrentRaiseInstallStats hammers one event with parallel raises,
+// installation churn, and statistics snapshots; under -race it proves the
+// striped counters and the atomic plan swap stay safe together.
+func TestConcurrentRaiseInstallStats(t *testing.T) {
+	d := New()
+	ev, err := d.DefineEvent("Fast.Hammer", fastSig(1), WithIntrinsic(fastHandler(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	raisers := runtime.GOMAXPROCS(0)
+	if raisers < 2 {
+		raisers = 2
+	}
+	for w := 0; w < raisers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := ev.Raise1(uint64(i)); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	// Installation churn: repeatedly add and remove a guarded handler,
+	// regenerating and republishing the plan under the raisers' feet.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := fastHandler(1)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			bd, err := ev.Install(h, WithGuard(Guard{Pred: codegen.ArgEq(0, uint64(i%3))}))
+			if err != nil {
+				panic(err)
+			}
+			if err := ev.Uninstall(bd); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	// Statistics snapshots concurrent with both.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := ev.Stats()
+			if st.Raised < last {
+				panic(fmt.Sprintf("Raised went backwards: %d -> %d", last, st.Raised))
+			}
+			last = st.Raised
+		}
+	}()
+
+	for i := 0; i < 2000; i++ {
+		if _, err := ev.Raise1(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if st := ev.Stats(); st.Raised < 2000 {
+		t.Fatalf("Raised = %d, want >= 2000", st.Raised)
+	}
+}
+
+// TestCachedEnvSurvivesRecompile ensures the per-event Env built at
+// definition time keeps feeding statistics after installs replace the
+// plan.
+func TestCachedEnvSurvivesRecompile(t *testing.T) {
+	d := New()
+	ev, err := d.DefineEvent("Fast.Recompile", fastSig(0), WithIntrinsic(fastHandler(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Raise0(); err != nil {
+		t.Fatal(err)
+	}
+	bd, err := ev.Install(fastHandler(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Raise0(); err != nil {
+		t.Fatal(err)
+	}
+	st := ev.Stats()
+	if st.Raised != 2 || st.Fired != 3 {
+		t.Fatalf("stats = %+v, want Raised=2 Fired=3", st)
+	}
+	if bd.Fired() != 1 {
+		t.Fatalf("new binding fired %d, want 1", bd.Fired())
+	}
+}

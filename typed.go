@@ -59,9 +59,10 @@ func NewEvent0(d *Dispatcher, name string, opts ...dispatch.EventOption) (*Event
 // (authorizers, result handlers, ordering queries).
 func (e *Event0) Underlying() *Event { return e.ev }
 
-// Raise announces the event.
+// Raise announces the event through the zero-allocation arity-specialized
+// path.
 func (e *Event0) Raise() error {
-	_, err := e.ev.Raise()
+	_, err := e.ev.Raise0()
 	return err
 }
 
@@ -89,9 +90,10 @@ func NewEvent1[A1 any](d *Dispatcher, name string, opts ...dispatch.EventOption)
 // Underlying exposes the untyped event.
 func (e *Event1[A1]) Underlying() *Event { return e.ev }
 
-// Raise announces the event.
+// Raise announces the event through the arity-specialized path: the
+// argument travels in a pooled fixed-size frame, not a fresh []any.
 func (e *Event1[A1]) Raise(a1 A1) error {
-	_, err := e.ev.Raise(a1)
+	_, err := e.ev.Raise1(a1)
 	return err
 }
 
@@ -133,9 +135,9 @@ func NewEvent2[A1, A2 any](d *Dispatcher, name string, opts ...dispatch.EventOpt
 // Underlying exposes the untyped event.
 func (e *Event2[A1, A2]) Underlying() *Event { return e.ev }
 
-// Raise announces the event.
+// Raise announces the event through the arity-specialized path.
 func (e *Event2[A1, A2]) Raise(a1 A1, a2 A2) error {
-	_, err := e.ev.Raise(a1, a2)
+	_, err := e.ev.Raise2(a1, a2)
 	return err
 }
 
@@ -182,9 +184,9 @@ func NewEvent3[A1, A2, A3 any](d *Dispatcher, name string, opts ...dispatch.Even
 // Underlying exposes the untyped event.
 func (e *Event3[A1, A2, A3]) Underlying() *Event { return e.ev }
 
-// Raise announces the event.
+// Raise announces the event through the arity-specialized path.
 func (e *Event3[A1, A2, A3]) Raise(a1 A1, a2 A2, a3 A3) error {
-	_, err := e.ev.Raise(a1, a2, a3)
+	_, err := e.ev.Raise3(a1, a2, a3)
 	return err
 }
 
@@ -227,7 +229,7 @@ func (e *FuncEvent0[R]) Underlying() *Event { return e.ev }
 
 // Raise announces the event and returns the merged result.
 func (e *FuncEvent0[R]) Raise() (R, error) {
-	res, err := e.ev.Raise()
+	res, err := e.ev.Raise0()
 	return asT[R](res), err
 }
 
@@ -258,7 +260,7 @@ func (e *FuncEvent1[A1, R]) Underlying() *Event { return e.ev }
 
 // Raise announces the event and returns the merged result.
 func (e *FuncEvent1[A1, R]) Raise(a1 A1) (R, error) {
-	res, err := e.ev.Raise(a1)
+	res, err := e.ev.Raise1(a1)
 	return asT[R](res), err
 }
 
@@ -300,7 +302,7 @@ func (e *FuncEvent2[A1, A2, R]) Underlying() *Event { return e.ev }
 
 // Raise announces the event and returns the merged result.
 func (e *FuncEvent2[A1, A2, R]) Raise(a1 A1, a2 A2) (R, error) {
-	res, err := e.ev.Raise(a1, a2)
+	res, err := e.ev.Raise2(a1, a2)
 	return asT[R](res), err
 }
 
