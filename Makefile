@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench tables json
+.PHONY: check vet build test race fuzz-smoke bench tables json
 
 check: vet build test race
 
@@ -13,11 +13,19 @@ build:
 test:
 	$(GO) test ./...
 
-# The dispatcher and codegen packages are the concurrency-sensitive core:
-# plan swaps race against raises, and the striped counters race against
-# Stats(). Run them under the race detector.
+# Everything runs under the race detector: plan swaps race against raises,
+# trace toggles race against both, the striped counters race against
+# Stats(), and the scheduler's watchdogs race against ticks.
 race:
-	$(GO) test -race ./internal/dispatch/ ./internal/codegen/
+	$(GO) test -race ./...
+
+# A short differential-fuzzing pass over the dispatch code generator: the
+# optimized plans (peephole, reordering, inlining, bypass, decision tree,
+# traced twin) must agree with naive reference evaluation. Go runs one
+# fuzz target per invocation.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzPredCompile -fuzztime 10s -run '^$$' ./internal/codegen/
+	$(GO) test -fuzz FuzzTreeDispatch -fuzztime 10s -run '^$$' ./internal/codegen/
 
 # Native (wall-clock) microbenchmarks, including the zero-allocation
 # parallel raise path.

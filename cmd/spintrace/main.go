@@ -1,0 +1,287 @@
+// Command spintrace replays the repository's example scenarios with
+// dispatch tracing enabled and emits the recorded raise spans, either as
+// Chrome trace_event JSON (loadable in chrome://tracing or
+// ui.perfetto.dev) or as human-readable text:
+//
+//	spintrace -scenario webserver                 text trace of the web server replay
+//	spintrace -scenario webserver -format chrome  Chrome trace_event JSON on stdout
+//	spintrace -scenario syscall -sample 1         every raise of the Mach emulator replay
+//	spintrace -scenario webserver -o trace.json -format chrome
+//
+// Tracing is compiled into each event's dispatch plan (see internal/trace),
+// so the replayed scenario exercises exactly the traced-plan code paths a
+// production dispatcher would run with tracing on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"spin"
+	"spin/internal/dispatch"
+	"spin/internal/emu/mach"
+	"spin/internal/fs"
+	"spin/internal/httpd"
+	"spin/internal/kernel"
+	"spin/internal/netstack"
+	"spin/internal/netwire"
+	"spin/internal/rtti"
+	"spin/internal/sched"
+	"spin/internal/trace"
+	"spin/internal/trap"
+	"spin/internal/vm"
+)
+
+func main() {
+	scenario := flag.String("scenario", "webserver", "scenario to replay: webserver, syscall")
+	format := flag.String("format", "text", "output format: text, chrome")
+	sample := flag.Int("sample", 1, "record 1-in-N raises (1 = every raise)")
+	capacity := flag.Int("capacity", 16384, "span ring capacity")
+	out := flag.String("o", "", "write the trace to this file instead of stdout")
+	flag.Parse()
+
+	tracer := trace.New(trace.Config{Capacity: *capacity, Sample: *sample})
+
+	var err error
+	switch *scenario {
+	case "webserver":
+		err = replayWebserver(tracer)
+	case "syscall":
+		err = replaySyscall(tracer)
+	default:
+		err = fmt.Errorf("unknown scenario %q (want webserver or syscall)", *scenario)
+	}
+	if err != nil {
+		log.Fatal("spintrace: ", err)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal("spintrace: ", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "chrome":
+		err = tracer.ExportChrome(w)
+	case "text":
+		err = tracer.ExportText(w)
+	default:
+		err = fmt.Errorf("unknown format %q (want text or chrome)", *format)
+	}
+	if err != nil {
+		log.Fatal("spintrace: ", err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "spintrace: %d spans recorded (%d dropped), wrote %s\n",
+			len(tracer.Snapshot()), tracer.Dropped(), *out)
+	}
+}
+
+// replayWebserver reruns the examples/webserver scenario — a SPIN machine
+// serving pages over simulated TCP with three composed extensions (a
+// legacy-URL filter, a guarded /stats route, an access logger, and a
+// result handler arbitrating their responses) — with machine-wide tracing.
+func replayWebserver(tracer *trace.Tracer) error {
+	a, err := kernel.Boot(kernel.Config{Name: "spin", Metered: true, Trace: tracer})
+	if err != nil {
+		return err
+	}
+	b, err := kernel.Boot(kernel.Config{Name: "browser", ShareWith: a})
+	if err != nil {
+		return err
+	}
+	link := netwire.NewLink(a.Sim, 0, 0)
+	nicA, _ := link.Attach("mac-a")
+	nicB, _ := link.Attach("mac-b")
+	arp := map[string]string{"10.0.0.1": "mac-a", "10.0.0.2": "mac-b"}
+	sa, err := netstack.New(netstack.Config{Dispatcher: a.Dispatcher, CPU: a.CPU,
+		Sched: a.Sched, NIC: nicA, IP: "10.0.0.1", ARP: arp})
+	if err != nil {
+		return err
+	}
+	sb, err := netstack.New(netstack.Config{Dispatcher: b.Dispatcher, CPU: b.CPU,
+		Sched: b.Sched, NIC: nicB, IP: "10.0.0.2", ARP: arp, Prefix: "B:"})
+	if err != nil {
+		return err
+	}
+
+	fsA, err := fs.New(a.Dispatcher, a.CPU, "")
+	if err != nil {
+		return err
+	}
+	fsA.Put("/www/index.html", []byte("<h1>The SPIN Project</h1>"))
+	fsA.Put("/www/papers/events.ps", []byte("%!PS Dynamic Binding for an Extensible System"))
+
+	srv, err := httpd.New(a.Dispatcher, httpd.Config{Stack: sa, FS: fsA, Sched: a.Sched})
+	if err != nil {
+		return err
+	}
+
+	// The three extensions from examples/webserver, so a traced
+	// Httpd.Request raise shows filter -> guard -> handler -> merge spans.
+	fsig := rtti.Signature{Args: []rtti.Type{rtti.Text},
+		ByRef: []bool{true}, Result: httpd.ResponseType}
+	_, err = srv.Request.Install(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Legacy.Rewrite", Module: rtti.NewModule("Legacy"), Sig: fsig},
+		Fn: func(clo any, args []any) any {
+			if p, ok := args[0].(string); ok {
+				args[0] = strings.ToLower(p)
+			}
+			return nil
+		},
+	}, dispatch.AsFilter(), dispatch.First())
+	if err != nil {
+		return err
+	}
+	sig := srv.Request.Signature()
+	_, err = srv.Request.Install(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Stats.Serve", Module: rtti.NewModule("Stats"), Sig: sig},
+		Fn: func(clo any, args []any) any {
+			return &httpd.Response{Status: 200, Body: []byte("stats\n")}
+		},
+	}, dispatch.WithGuard(httpd.RouteGuard("/stats")))
+	if err != nil {
+		return err
+	}
+	_, err = srv.Request.Install(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Log.Access", Module: rtti.NewModule("Log"), Sig: sig},
+		Fn:   func(clo any, args []any) any { return (*httpd.Response)(nil) },
+	}, dispatch.Last())
+	if err != nil {
+		return err
+	}
+	err = srv.Request.SetResultHandler(func(acc, res any, i int) any {
+		if a, ok := acc.(*httpd.Response); ok && a != nil && a.Status == 200 {
+			return a
+		}
+		if b, ok := res.(*httpd.Response); ok && b != nil {
+			if a, ok := acc.(*httpd.Response); !ok || a == nil || b.Status == 200 {
+				return b
+			}
+		}
+		return acc
+	})
+	if err != nil {
+		return err
+	}
+
+	paths := []string{"/", "/PAPERS/EVENTS.PS", "/stats", "/missing"}
+	client, err := httpd.NewClient(sb, "10.0.0.1", 80)
+	if err != nil {
+		return err
+	}
+	sent := false
+	b.Sched.Spawn("browser", 0, func(st *sched.Strand) sched.Status {
+		if !client.Conn().Established() {
+			client.Conn().AwaitEstablished(st)
+			return sched.Block
+		}
+		if !sent {
+			sent = true
+			for _, p := range paths {
+				_ = client.Get(p)
+			}
+		}
+		client.Pump()
+		if len(client.Responses) >= len(paths) {
+			_ = client.Conn().Close()
+			return sched.Done
+		}
+		client.Conn().AwaitData(st)
+		return sched.Block
+	})
+	a.Sim.Run(0)
+	return nil
+}
+
+// replaySyscall reruns the examples/syscall-emulator scenario — two Mach
+// emulator instances confined to their address spaces by imposed guards —
+// with machine-wide tracing, plus one denied installation so the trace
+// carries a control-plane rejection span.
+func replaySyscall(tracer *trace.Tracer) error {
+	m, err := spin.Boot(spin.MachineConfig{Name: "demo", Metered: true, Trace: tracer})
+	if err != nil {
+		return err
+	}
+
+	installingSpace := new(uint64)
+	err = m.Trap.InstallAuthorizer(func(req *dispatch.AuthRequest) bool {
+		if req.Op != dispatch.OpInstall {
+			return true
+		}
+		if req.Binding.Installer() != nil && req.Binding.Installer().Name() == "Rogue" {
+			return false
+		}
+		valid := *installingSpace
+		gproc := &rtti.Proc{
+			Name: "MachineTrap.ImposedSyscallGuard", Module: trap.Module,
+			Functional: true,
+			Sig: rtti.Signature{
+				Args:   []rtti.Type{rtti.RefAny, sched.StrandType, trap.SavedStateType},
+				Result: rtti.Bool,
+			},
+		}
+		return req.ImposeGuard(dispatch.Guard{
+			Proc:    gproc,
+			Closure: valid,
+			Fn: func(validSpace any, args []any) bool {
+				return args[0].(*sched.Strand).Space() == validSpace.(uint64)
+			},
+		}) == nil
+	})
+	if err != nil {
+		return err
+	}
+
+	spaceA, spaceB := m.VM.NewSpace(), m.VM.NewSpace()
+	emuA := &mach.Emulator{}
+	*installingSpace = spaceA.ID()
+	if _, err := m.LoadExtension(imageNamed(emuA, "mach-for-A")); err != nil {
+		return err
+	}
+	emuB := &mach.Emulator{}
+	*installingSpace = spaceB.ID()
+	if _, err := m.LoadExtension(imageNamed(emuB, "mach-for-B")); err != nil {
+		return err
+	}
+
+	// A rogue module's denied installation: records a reject span.
+	_, _ = m.Trap.Syscall.Install(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Rogue.Spy", Module: rtti.NewModule("Rogue"),
+			Sig: m.Trap.Syscall.Signature()},
+		Fn: func(clo any, args []any) any { return nil },
+	})
+
+	strandA := m.Sched.Spawn("task-A", spaceA.ID(), func(*sched.Strand) sched.Status { return sched.Done })
+	strandB := m.Sched.Spawn("task-B", spaceB.ID(), func(*sched.Strand) sched.Status { return sched.Done })
+	emuA.MakeTask(strandA, spaceA)
+	emuB.MakeTask(strandB, spaceB)
+
+	ms := &trap.SavedState{V0: mach.Uint64(mach.TrapVMAllocate)}
+	ms.A[0] = 3 * vm.PageSize
+	if err := m.Trap.RaiseSyscall(strandA, ms); err != nil {
+		return err
+	}
+	ms = &trap.SavedState{V0: mach.Uint64(mach.TrapTaskSelf)}
+	if err := m.Trap.RaiseSyscall(strandB, ms); err != nil {
+		return err
+	}
+	m.Run(0)
+	return nil
+}
+
+// imageNamed wraps mach.Image with a unique domain name so two instances
+// can coexist.
+func imageNamed(e *mach.Emulator, name string) *spin.ExtensionImage {
+	img := mach.Image(e)
+	img.Name = name
+	return img
+}

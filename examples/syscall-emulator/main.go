@@ -21,7 +21,10 @@ import (
 )
 
 func main() {
-	m, err := spin.Boot(spin.MachineConfig{Name: "demo", Metered: true})
+	// Trace every raise; a per-raise excerpt prints at the end
+	// (cmd/spintrace replays this scenario with full export options).
+	tracer := spin.NewTracer(spin.TraceConfig{Capacity: 4096})
+	m, err := spin.Boot(spin.MachineConfig{Name: "demo", Metered: true, Trace: tracer})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,6 +115,31 @@ func main() {
 	fmt.Println("raise error:", err, "| is ErrNoHandler:", errors.Is(err, spin.ErrNoHandler))
 
 	fmt.Printf("\nSyscall event stats: %+v\n", m.Trap.Syscall.Stats())
+
+	// The first traced MachineTrap.Syscall raise, span by span: the
+	// imposed guards evaluating (pass for A's emulator, fail for B's)
+	// before the confined handler fires.
+	spans := tracer.Snapshot()
+	var first uint64
+	for _, sp := range spans {
+		if sp.Event == "MachineTrap.Syscall" && sp.Raise != 0 {
+			first = sp.Raise
+			break
+		}
+	}
+	fmt.Println("\n-- trace of the first Syscall raise --")
+	for _, sp := range spans {
+		if sp.Raise == first {
+			pass := ""
+			if sp.Kind.String() == "guard" {
+				pass = "[fail]"
+				if sp.Pass {
+					pass = "[pass]"
+				}
+			}
+			fmt.Printf("%-12v %-28s %-6s cost=%v\n", sp.Kind, sp.Name, pass, sp.Cost)
+		}
+	}
 }
 
 // imageNamed wraps mach.Image with a unique domain name so two instances

@@ -23,12 +23,16 @@ import (
 	"spin/internal/netwire"
 	"spin/internal/rtti"
 	"spin/internal/sched"
+	"spin/internal/trace"
 	"spin/internal/vtime"
 )
 
 func main() {
-	// Boot the server machine and a client machine on one wire.
-	a, err := kernel.Boot(kernel.Config{Name: "spin", Metered: true})
+	// Boot the server machine and a client machine on one wire. The
+	// server machine traces every raise; a short excerpt prints at the
+	// end (cmd/spintrace replays this scenario with full export options).
+	tracer := trace.New(trace.Config{Capacity: 16384})
+	a, err := kernel.Boot(kernel.Config{Name: "spin", Metered: true, Trace: tracer})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -169,4 +173,20 @@ func main() {
 	fmt.Printf("Httpd.Request event: raised=%d handlers=%d guards=%d\n",
 		st.Raised, st.Handlers, st.Guards)
 	fmt.Printf("virtual time elapsed: %v\n", vtime.Duration(a.Clock.Now()))
+
+	// One traced raise's causal structure: the last Httpd.Request raise,
+	// span by span (filter -> intrinsic -> guard -> handlers -> merges).
+	spans := tracer.Snapshot()
+	var last uint64
+	for _, sp := range spans {
+		if sp.Event == "Httpd.Request" {
+			last = sp.Raise
+		}
+	}
+	fmt.Println("\n-- trace of the last Httpd.Request raise --")
+	for _, sp := range spans {
+		if sp.Raise == last {
+			fmt.Printf("%-12v %-36s cost=%v\n", sp.Kind, sp.Name, sp.Cost)
+		}
+	}
 }

@@ -1,0 +1,207 @@
+package codegen
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"spin/internal/trace"
+)
+
+// Differential fuzzing: the optimized compiled plan — peephole
+// simplification, guard reordering, inline evaluation, the single-binding
+// bypass, the decision tree, and the traced twin routine — must fire
+// exactly the same handlers, in the same order, as a naive reference model
+// that walks the binding list evaluating every guard verbatim.
+
+// fuzzReader decodes a fuzz input byte stream; exhausted streams yield
+// zeros so every input is a complete (if boring) program.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// genPred decodes a bounded random predicate tree. The constants are drawn
+// from a small domain so raises frequently match guards.
+func genPred(r *fuzzReader, depth int, arity int, cell *atomic.Uint64) *Pred {
+	op := r.byte() % 10
+	if depth <= 0 && op >= 7 {
+		op %= 7 // leaves only at the depth bound
+	}
+	arg := int(r.byte()) % arity
+	k := uint64(r.byte() % 4)
+	switch op {
+	case 0:
+		return True()
+	case 1:
+		return False()
+	case 2:
+		return ArgEq(arg, k)
+	case 3:
+		return ArgNe(arg, k)
+	case 4:
+		return ArgLt(arg, k)
+	case 5:
+		return GlobalEq(cell, k)
+	case 6:
+		return GlobalNe(cell, k)
+	case 7:
+		return And(genPred(r, depth-1, arity, cell), genPred(r, depth-1, arity, cell))
+	case 8:
+		return Or(genPred(r, depth-1, arity, cell), genPred(r, depth-1, arity, cell))
+	default:
+		return Not(genPred(r, depth-1, arity, cell))
+	}
+}
+
+// genArgs decodes one raise argument vector of small words.
+func genArgs(r *fuzzReader, arity int) []any {
+	args := make([]any, arity)
+	for i := range args {
+		args[i] = uint64(r.byte() % 4)
+	}
+	return args
+}
+
+// FuzzPredCompile checks that peephole simplification preserves predicate
+// semantics and that a plan compiled from a predicate-guarded binding fires
+// exactly when naive evaluation of the original predicate passes.
+func FuzzPredCompile(f *testing.F) {
+	f.Add([]byte{7, 2, 1, 0, 8, 4, 2, 3, 9, 0, 1, 2, 3})
+	f.Add([]byte{9, 9, 9, 1, 0, 0, 2, 2, 2})
+	f.Add([]byte{2, 0, 1, 3, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzReader{data: data}
+		arity := 1 + int(r.byte()%3)
+		var cell atomic.Uint64
+		cell.Store(uint64(r.byte() % 4))
+		pred := genPred(r, 3, arity, &cell)
+
+		// Property 1: Simplify is observationally identical.
+		simplified := pred.Simplify()
+		for trial := 0; trial < 4; trial++ {
+			args := genArgs(r, arity)
+			if got, want := simplified.Eval(args), pred.Eval(args); got != want {
+				t.Fatalf("simplify changed semantics: %s -> %s on %v: %v != %v",
+					pred, simplified, args, got, want)
+			}
+		}
+
+		// Property 2: the compiled plan — which simplifies, reorders and
+		// inlines the guard — fires iff the original predicate passes.
+		fired := 0
+		binding := &Binding{
+			Guards: []Guard{{Pred: pred}},
+			Fn:     func(any, []any) any { fired++; return nil },
+			Name:   "fuzz.H",
+		}
+		for _, opts := range []Options{
+			{},
+			{DisableInline: true, DisableBypass: true},
+			{DisablePeephole: true},
+		} {
+			plan := Compile(EventInfo{Name: "Fuzz.Pred", Arity: arity},
+				[]*Binding{binding}, nil, nil, opts)
+			r2 := *r // same raises for every configuration
+			for trial := 0; trial < 4; trial++ {
+				args := genArgs(&r2, arity)
+				fired = 0
+				plan.Execute(&Env{}, args)
+				want := 0
+				if pred.Eval(args) {
+					want = 1
+				}
+				if fired != want {
+					t.Fatalf("opts %+v pred %s args %v: fired %d, want %d",
+						opts, pred, args, fired, want)
+				}
+			}
+		}
+	})
+}
+
+// FuzzTreeDispatch compiles a random binding list under every optimizer
+// configuration — including the decision tree and the traced routine — and
+// checks each fires the same handler sequence as the reference model.
+func FuzzTreeDispatch(f *testing.F) {
+	// A decision-tree-shaped seed: six consecutive ArgEq guards on arg 0.
+	f.Add([]byte{0, 6, 1, 0, 1, 1, 0, 2, 1, 0, 3, 1, 0, 0, 1, 0, 1, 1, 0, 2, 0, 1, 2, 3})
+	f.Add([]byte{1, 4, 0, 3, 1, 7, 2, 0, 5, 5, 2, 1, 1})
+	f.Add([]byte{2, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzReader{data: data}
+		arity := 1 + int(r.byte()%3)
+		n := 1 + int(r.byte()%10)
+		var cell atomic.Uint64
+		cell.Store(uint64(r.byte() % 4))
+
+		var fired []int
+		preds := make([]*Pred, n) // reference model: nil = unguarded
+		bindings := make([]*Binding, n)
+		for i := 0; i < n; i++ {
+			switch r.byte() % 4 {
+			case 0: // unguarded
+			case 3: // arbitrary predicate tree
+				preds[i] = genPred(r, 2, arity, &cell)
+			default: // ArgEq, biased so consecutive runs form decision trees
+				preds[i] = ArgEq(int(r.byte())%arity, uint64(r.byte()%4))
+			}
+			i := i
+			bindings[i] = &Binding{
+				Fn:   func(any, []any) any { fired = append(fired, i); return nil },
+				Name: "fuzz.H",
+			}
+			if preds[i] != nil {
+				bindings[i].Guards = []Guard{{Pred: preds[i]}}
+			}
+		}
+
+		naive := func(args []any) []int {
+			var out []int
+			for i, p := range preds {
+				if p == nil || p.Eval(args) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+
+		tracer := trace.New(trace.Config{Capacity: 64})
+		info := EventInfo{Name: "Fuzz.Tree", Arity: arity}
+		configs := []Options{
+			{},
+			{EnableDecisionTree: true},
+			{DisableInline: true, DisableBypass: true, DisablePeephole: true},
+			{EnableDecisionTree: true, Trace: tracer}, // traced twin routine
+		}
+		for trial := 0; trial < 4; trial++ {
+			args := genArgs(r, arity)
+			want := naive(args)
+			for _, opts := range configs {
+				plan := Compile(info, bindings, nil, nil, opts)
+				fired = nil
+				out := plan.Execute(&Env{}, args)
+				if len(fired) != len(want) {
+					t.Fatalf("opts %+v args %v: fired %v, model %v", opts, args, fired, want)
+				}
+				for i := range want {
+					if fired[i] != want[i] {
+						t.Fatalf("opts %+v args %v: order %v, model %v", opts, args, fired, want)
+					}
+				}
+				if out.Fired != len(want) {
+					t.Fatalf("opts %+v args %v: Outcome.Fired %d, model %d",
+						opts, args, out.Fired, len(want))
+				}
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"spin/internal/trace"
 	"spin/internal/vtime"
 )
 
@@ -52,6 +53,9 @@ type Binding struct {
 	// Tag is an opaque back-pointer for the dispatcher (statistics,
 	// termination reporting). The generator never inspects it.
 	Tag any
+	// Name is the handler's qualified procedure name, used only to label
+	// trace spans; the generated code never inspects it.
+	Name string
 }
 
 // fullyInline reports whether the generator can execute the binding without
@@ -100,6 +104,13 @@ type Options struct {
 	// installation" the paper anticipates needing. The generated plan
 	// is identical; only the installation cost model changes.
 	IncrementalInstall bool
+	// Trace, when non-nil, compiles trace recording steps into the plan:
+	// the generated routine registers its step layout with the tracer and
+	// sampled raises execute a traced twin of the dispatch loop. A nil
+	// Trace compiles a plan with no tracing code at all, so a disabled
+	// tracer costs nothing on the hot path (the zero-cost-off property
+	// TestTracingOffZeroAlloc enforces).
+	Trace *trace.Tracer
 }
 
 // step is one unrolled dispatch step.
@@ -107,6 +118,10 @@ type step struct {
 	guards []Guard
 	b      *Binding
 	inline bool // binding executes fully inline
+	// idx is the step's index in the live plan, assigned at compile time.
+	// Decision-tree branches copy steps out of plan order, so the index is
+	// carried on the step itself for trace-span attribution.
+	idx int
 }
 
 // Plan is an immutable compiled dispatch routine. The dispatcher publishes
@@ -132,6 +147,10 @@ type Plan struct {
 	// Bindings is the number of live bindings compiled into the plan,
 	// used by the dispatcher to charge the O(n) regeneration cost.
 	Bindings int
+	// prog is the plan's trace recording handle, non-nil only when the
+	// plan was compiled with Options.Trace. Untraced plans pay a single
+	// nil check per raise and nothing else.
+	prog *trace.Program
 }
 
 // Env supplies the execution hooks the generated routine needs from the
@@ -177,6 +196,7 @@ func Compile(info EventInfo, bindings []*Binding, resultFn ResultFn, defaultB *B
 		if !live {
 			continue
 		}
+		st.idx = len(p.steps)
 		p.steps = append(p.steps, st)
 		p.Bindings++
 		if b.Filter {
@@ -202,8 +222,42 @@ func Compile(info EventInfo, bindings []*Binding, resultFn ResultFn, defaultB *B
 		}
 	}
 	p.units = buildUnits(p.steps, opts.EnableDecisionTree)
+	if opts.Trace != nil {
+		// Register the plan's step layout with the tracer: span records
+		// carry only (program, step) indices, and the registry resolves
+		// them to names at export time, keeping the recording path
+		// allocation free. The registry retains metadata for superseded
+		// plans, so spans recorded against a swapped-out plan still
+		// resolve.
+		meta := trace.EventMeta{Event: info.Name,
+			Steps: make([]trace.StepMeta, len(p.steps))}
+		for i := range p.steps {
+			b := p.steps[i].b
+			meta.Steps[i] = trace.StepMeta{Name: b.Name, Mode: bindingMode(b)}
+		}
+		if defaultB != nil {
+			meta.Default = defaultB.Name
+		}
+		p.prog = opts.Trace.Program(meta)
+	}
 	return p
 }
+
+// bindingMode maps a binding's execution properties to its trace mode.
+func bindingMode(b *Binding) trace.Mode {
+	switch {
+	case b.Filter:
+		return trace.ModeFilter
+	case b.Async:
+		return trace.ModeAsync
+	case b.Ephemeral:
+		return trace.ModeEphemeral
+	}
+	return trace.ModeSync
+}
+
+// Traced reports whether trace recording is compiled into the plan.
+func (p *Plan) Traced() bool { return p.prog != nil }
 
 // TreeUnits reports the number of decision-tree units in the plan and the
 // total bindings they cover (for tests and disassembly).
@@ -295,6 +349,14 @@ func (p *Plan) FullyInline() bool { return p.allInline }
 // private per-raise argument vector: filters mutate it in place, which is
 // visible to subsequent steps but never to the raiser.
 func (p *Plan) Execute(env *Env, args []any) Outcome {
+	if p.prog != nil {
+		// Tracing compiled in: draw the sampling decision and run the
+		// traced twin of the routine for sampled raises. Untraced plans
+		// pay only the nil check above.
+		if raise, sampled := p.prog.Begin(); sampled {
+			return p.executeTraced(env, args, raise)
+		}
+	}
 	cpu := env.CPU
 	if p.direct != nil {
 		cpu.Charge(vtime.CallDirect)

@@ -194,6 +194,7 @@ func (b *Binding) compile(d *Dispatcher) *codegen.Binding {
 		Ephemeral: b.ephemeral,
 		Filter:    b.filter,
 		Tag:       b,
+		Name:      b.HandlerName(),
 	}
 	for _, g := range b.guards {
 		cb.Guards = append(cb.Guards, d.compileGuard(g))

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"spin/internal/codegen"
+	"spin/internal/trace"
 	"spin/internal/vtime"
 )
 
@@ -71,6 +72,7 @@ type Dispatcher struct {
 	purity  bool
 	spawner func(fn func())
 	quota   quotas
+	tracer  *trace.Tracer
 }
 
 // Option configures a Dispatcher.
@@ -107,6 +109,18 @@ func WithPurityChecking() Option {
 func WithSpawner(spawn func(fn func())) Option {
 	return func(d *Dispatcher) { d.spawner = spawn }
 }
+
+// WithTracer enables dispatch tracing for every event defined on the
+// dispatcher: each event's plan is compiled with trace recording steps
+// targeting t, and raises are sampled at t's configured rate. Individual
+// events can still opt out (or a tracerless dispatcher's events opt in)
+// with Event.Trace.
+func WithTracer(t *trace.Tracer) Option {
+	return func(d *Dispatcher) { d.tracer = t }
+}
+
+// Tracer returns the dispatcher-wide tracer, or nil.
+func (d *Dispatcher) Tracer() *trace.Tracer { return d.tracer }
 
 // New creates a dispatcher.
 func New(opts ...Option) *Dispatcher {

@@ -7,6 +7,7 @@ import (
 
 	"spin/internal/codegen"
 	"spin/internal/rtti"
+	"spin/internal/trace"
 	"spin/internal/vtime"
 )
 
@@ -42,6 +43,10 @@ type Event struct {
 	defaultB   *Binding
 	resultFn   ResultFn
 	authorizer AuthorizerFn
+	// tracer, when non-nil, makes recompile emit traced plans targeting
+	// it. Guarded by mu; the published plan carries the decision, so
+	// raises never read this field.
+	tracer *trace.Tracer
 
 	plan atomic.Pointer[codegen.Plan]
 
@@ -108,6 +113,7 @@ func (d *Dispatcher) DefineEvent(name string, sig rtti.Signature, opts ...EventO
 		return nil, fmt.Errorf("%w: event %s", ErrAsyncByRef, name)
 	}
 	e := &Event{d: d, name: name, sig: sig, async: cfg.async, authority: cfg.owner}
+	e.tracer = d.tracer
 	e.env = e.newEnv()
 
 	if cfg.intrinsic != nil {
@@ -192,6 +198,31 @@ func (e *Event) positionLocked(b *Binding) int {
 // disassembly).
 func (e *Event) Plan() *codegen.Plan { return e.plan.Load() }
 
+// Trace enables or disables tracing for this event: the dispatch plan is
+// recompiled with trace recording steps targeting t (or without any when t
+// is nil) and published with the same atomic swap installations use, so
+// raises in flight finish on the plan they loaded and the toggle never
+// blocks a raise. A nil t restores the untraced routine, returning the hot
+// path to its zero-extra-cost form.
+func (e *Event) Trace(t *trace.Tracer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.tracer == t {
+		return
+	}
+	e.tracer = t
+	// Uncharged: toggling observability is operator tooling, not the
+	// paper's installation workload.
+	e.recompile(false)
+}
+
+// Tracer returns the event's current tracer, or nil when untraced.
+func (e *Event) Tracer() *trace.Tracer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tracer
+}
+
 // recompile regenerates and publishes the dispatch plan. The caller holds
 // e.mu (or is the defining call, before the event escapes). When charge is
 // true the O(n) regeneration cost is metered, accumulating to the paper's
@@ -206,7 +237,9 @@ func (e *Event) recompile(charge bool) {
 		def = e.defaultB.compile(e.d)
 	}
 	info := codegen.EventInfo{Name: e.name, Arity: e.sig.Arity(), HasResult: e.sig.HasResult()}
-	plan := codegen.Compile(info, specs, e.resultFn, def, e.d.cgOpts)
+	opts := e.d.cgOpts
+	opts.Trace = e.tracer
+	plan := codegen.Compile(info, specs, e.resultFn, def, opts)
 	if charge {
 		cpu := e.d.cpu
 		cpu.Begin(vtime.AccountEvents)

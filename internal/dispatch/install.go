@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"spin/internal/rtti"
+	"spin/internal/trace"
 )
 
 // DefaultEphemeralDeadline bounds EPHEMERAL handler execution when the
@@ -188,10 +189,12 @@ func (e *Event) Install(h Handler, opts ...InstallOption) (*Binding, error) {
 	// Resource accounting (§2.6 "Too many handlers"): the installation
 	// is charged to the installing module before the authorizer sees it.
 	if err := e.d.quota.charge(b.Installer()); err != nil {
+		e.traceRejectLocked(trace.RejectQuota, b)
 		return nil, err
 	}
 	if err := e.authorizeLocked(OpInstall, b); err != nil {
 		e.d.quota.release(b.Installer())
+		e.traceRejectLocked(trace.RejectAuth, b)
 		return nil, err
 	}
 	if err := e.insertLocked(b); err != nil {
@@ -201,6 +204,20 @@ func (e *Event) Install(h Handler, opts ...InstallOption) (*Binding, error) {
 	b.installed = true
 	e.recompile(true)
 	return b, nil
+}
+
+// traceRejectLocked records a control-plane rejection span for a denied
+// installation, labelled with the rejected handler's installing module.
+// Caller holds e.mu.
+func (e *Event) traceRejectLocked(reason trace.RejectReason, b *Binding) {
+	if e.tracer == nil {
+		return
+	}
+	module := b.HandlerName()
+	if m := b.Installer(); m != nil {
+		module = m.Name()
+	}
+	e.tracer.Reject(e.name, reason, module)
 }
 
 // insertLocked places b into the handler list per its ordering constraint.

@@ -16,6 +16,7 @@ import (
 	"spin/internal/linker"
 	"spin/internal/rtti"
 	"spin/internal/sched"
+	"spin/internal/trace"
 	"spin/internal/trap"
 	"spin/internal/vm"
 	"spin/internal/vtime"
@@ -41,6 +42,10 @@ type Config struct {
 	// PurityChecks enables the dispatcher's FUNCTIONAL-guard monitor and
 	// dynamic raise-argument typechecking.
 	PurityChecks bool
+	// Trace, when non-nil, enables dispatch tracing machine-wide: every
+	// event defined on the machine's dispatcher records sampled raises
+	// into the tracer's span ring (see internal/trace).
+	Trace *trace.Tracer
 	// ShareWith, when non-nil, makes this machine share the given
 	// machine's virtual clock and simulator — required for multi-machine
 	// experiments (the Table 2 UDP roundtrip runs two machines on one
@@ -90,6 +95,9 @@ func Boot(cfg Config) (*Machine, error) {
 	dopts = append(dopts, dispatch.WithCodegenOptions(cfg.Codegen))
 	if cfg.PurityChecks {
 		dopts = append(dopts, dispatch.WithPurityChecking())
+	}
+	if cfg.Trace != nil {
+		dopts = append(dopts, dispatch.WithTracer(cfg.Trace))
 	}
 	m.Dispatcher = dispatch.New(dopts...)
 	m.Nexus = linker.NewNexus()

@@ -17,6 +17,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"spin/internal/dispatch"
@@ -82,7 +83,11 @@ type Strand struct {
 	space uint64
 	sched *Scheduler
 	step  StepFunc
-	state State
+	// state holds a State value. It is atomic because supervisory policy
+	// (an EPHEMERAL-termination watchdog, which runs on its own goroutine
+	// in real-time mode) may Kill a strand while the scheduler is mid-tick
+	// on another.
+	state atomic.Int32
 	// Locals carries per-strand extension state (emulator task data,
 	// socket wait registrations).
 	Locals map[string]any
@@ -103,10 +108,16 @@ func (s *Strand) Name() string { return s.name }
 func (s *Strand) Space() uint64 { return s.space }
 
 // State returns the scheduling state.
-func (s *Strand) State() State { return s.state }
+func (s *Strand) State() State { return State(s.state.Load()) }
+
+// casState atomically transitions the strand from one state to another,
+// reporting whether the transition happened.
+func (s *Strand) casState(from, to State) bool {
+	return s.state.CompareAndSwap(int32(from), int32(to))
+}
 
 func (s *Strand) String() string {
-	return fmt.Sprintf("strand %d (%s, %s)", s.id, s.name, s.state)
+	return fmt.Sprintf("strand %d (%s, %s)", s.id, s.name, s.State())
 }
 
 // Scheduler is a round-robin strand scheduler. Each scheduling operation
@@ -120,11 +131,16 @@ type Scheduler struct {
 	// dispatch of a strand.
 	RunEvent *dispatch.Event
 
+	// mu guards the run queue and the pump flag. It is never held across
+	// a Strand.Run raise or a strand step, so strand bodies and handlers
+	// may reenter Spawn/Wakeup/Kill freely; strand state itself is atomic
+	// (see Strand.state).
+	mu       sync.Mutex
 	runq     []*Strand
-	live     int
-	nextID   uint64
-	switches atomic.Int64
 	pumping  bool
+	live     atomic.Int64
+	nextID   atomic.Uint64
+	switches atomic.Int64
 
 	// WakeLatency delays the first dispatch after the run queue goes
 	// from empty to non-empty, modelling scheduling quantum and dispatch
@@ -161,10 +177,10 @@ func New(d *dispatch.Dispatcher, cpu *vtime.CPU, sim *vtime.Simulator) (*Schedul
 
 // Spawn creates a strand in the given address space and makes it runnable.
 func (s *Scheduler) Spawn(name string, space uint64, step StepFunc) *Strand {
-	s.nextID++
-	st := &Strand{id: s.nextID, name: name, space: space, sched: s,
-		step: step, state: Ready, Locals: make(map[string]any)}
-	s.live++
+	st := &Strand{id: s.nextID.Add(1), name: name, space: space, sched: s,
+		step: step, Locals: make(map[string]any)}
+	st.state.Store(int32(Ready))
+	s.live.Add(1)
 	s.enqueue(st, true)
 	return st
 }
@@ -175,10 +191,14 @@ func (s *Scheduler) Spawn(name string, space uint64, step StepFunc) *Strand {
 func (s *Scheduler) Simulator() *vtime.Simulator { return s.sim }
 
 // Live reports the number of non-dead strands.
-func (s *Scheduler) Live() int { return s.live }
+func (s *Scheduler) Live() int { return int(s.live.Load()) }
 
 // QueueLen reports the run-queue length.
-func (s *Scheduler) QueueLen() int { return len(s.runq) }
+func (s *Scheduler) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runq)
+}
 
 // Switches reports the number of scheduling operations performed (each one
 // raised Strand.Run).
@@ -190,10 +210,9 @@ func (s *Scheduler) Switches() int64 { return s.switches.Load() }
 func (s *Scheduler) Wakeup(st *Strand) { s.wakeup(st, false) }
 
 func (s *Scheduler) wakeup(st *Strand, prompt bool) {
-	if st == nil || st.state != Blocked {
+	if st == nil || !st.casState(Blocked, Ready) {
 		return
 	}
-	st.state = Ready
 	s.enqueue(st, prompt)
 }
 
@@ -211,31 +230,37 @@ func (s *Scheduler) WakeAfter(st *Strand, d vtime.Duration) error {
 // Kill retires a strand immediately. The paper's user-space thread
 // managers use this when an EPHEMERAL context-switch handler is
 // terminated: "premature termination results in the termination of the
-// user-space thread".
+// user-space thread". Kill is safe to call from any goroutine — in
+// real-time mode the EPHEMERAL watchdog that motivates it runs outside
+// the scheduler.
 func (s *Scheduler) Kill(st *Strand) {
-	if st == nil || st.state == Dead {
+	if st == nil || State(st.state.Swap(int32(Dead))) == Dead {
 		return
 	}
-	if st.state == Ready {
-		for i, q := range s.runq {
-			if q == st {
-				s.runq = append(s.runq[:i], s.runq[i+1:]...)
-				break
-			}
+	s.live.Add(-1)
+	s.mu.Lock()
+	for i, q := range s.runq {
+		if q == st {
+			s.runq = append(s.runq[:i], s.runq[i+1:]...)
+			break
 		}
 	}
-	st.state = Dead
-	s.live--
+	s.mu.Unlock()
 }
 
 // enqueue appends to the run queue and, under a simulator, arranges for the
 // scheduler to pump. Prompt enqueues (timer wakeups, fresh spawns) skip
 // WakeLatency.
 func (s *Scheduler) enqueue(st *Strand, prompt bool) {
+	s.mu.Lock()
 	wasEmpty := len(s.runq) == 0
 	s.runq = append(s.runq, st)
-	if s.sim != nil && !s.pumping {
+	pump := s.sim != nil && !s.pumping
+	if pump {
 		s.pumping = true
+	}
+	s.mu.Unlock()
+	if pump {
 		delay := vtime.Duration(0)
 		if wasEmpty && !prompt {
 			delay = s.WakeLatency
@@ -245,9 +270,19 @@ func (s *Scheduler) enqueue(st *Strand, prompt bool) {
 }
 
 func (s *Scheduler) tickFromSim() {
+	s.mu.Lock()
 	s.pumping = false
-	if s.tick() && !s.pumping {
+	s.mu.Unlock()
+	if !s.tick() {
+		return
+	}
+	s.mu.Lock()
+	pump := !s.pumping
+	if pump {
 		s.pumping = true
+	}
+	s.mu.Unlock()
+	if pump {
 		s.sim.After(0, s.tickFromSim)
 	}
 }
@@ -256,13 +291,16 @@ func (s *Scheduler) tickFromSim() {
 // strand at the head of the queue, and reinsert or retire it. It reports
 // whether more runnable work remains.
 func (s *Scheduler) tick() bool {
+	s.mu.Lock()
 	if len(s.runq) == 0 {
+		s.mu.Unlock()
 		return false
 	}
 	st := s.runq[0]
 	s.runq = s.runq[1:]
-	if st.state == Dead { // killed while queued
-		return len(s.runq) > 0
+	s.mu.Unlock()
+	if st.State() == Dead { // killed while queued
+		return s.moreRunnable()
 	}
 	s.switches.Add(1)
 	s.cpu.Charge(vtime.ContextSwitch)
@@ -271,25 +309,36 @@ func (s *Scheduler) tick() bool {
 	// would surface ErrNoHandler, which we tolerate: the intrinsic may
 	// have been deregistered by an experiment.
 	_, _ = s.RunEvent.Raise(st.id, st)
-	if st.state == Dead {
+	if !st.casState(Ready, Running) {
 		// A context-switch handler (e.g. a terminated EPHEMERAL
-		// restore handler) killed the strand during the raise.
-		return len(s.runq) > 0
+		// restore handler) killed the strand during the raise, or a
+		// supervisory goroutine killed it between dequeue and dispatch.
+		return s.moreRunnable()
 	}
-	st.state = Running
 	status := st.step(st)
 	switch status {
 	case Yield:
-		st.state = Ready
-		s.runq = append(s.runq, st)
-	case Block:
-		if st.state == Running {
-			st.state = Blocked
+		// The transition fails only if the strand was killed mid-step;
+		// a dead strand must not reenter the queue.
+		if st.casState(Running, Ready) {
+			s.mu.Lock()
+			s.runq = append(s.runq, st)
+			s.mu.Unlock()
 		}
+	case Block:
+		st.casState(Running, Blocked)
 	case Done:
-		st.state = Dead
-		s.live--
+		if State(st.state.Swap(int32(Dead))) != Dead {
+			s.live.Add(-1)
+		}
 	}
+	return s.moreRunnable()
+}
+
+// moreRunnable reports whether the run queue is non-empty.
+func (s *Scheduler) moreRunnable() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return len(s.runq) > 0
 }
 
@@ -298,7 +347,7 @@ func (s *Scheduler) tick() bool {
 // limit > 0.
 func (s *Scheduler) RunToCompletion(limit int) int {
 	ticks := 0
-	for s.tick() || len(s.runq) > 0 {
+	for s.tick() || s.moreRunnable() {
 		ticks++
 		if limit > 0 && ticks >= limit {
 			break

@@ -33,6 +33,7 @@ import (
 	"spin/internal/kernel"
 	"spin/internal/linker"
 	"spin/internal/rtti"
+	"spin/internal/trace"
 	"spin/internal/vtime"
 )
 
@@ -77,6 +78,27 @@ type (
 	// Type is an rtti value type.
 	Type = rtti.Type
 )
+
+// Dispatch tracing (see internal/trace): spans reconstruct one raise's
+// causal structure — guard evaluations, handler invocations, result
+// merges — with tracing compiled into the dispatch plan only when enabled,
+// so the zero-allocation fast path is untouched when off.
+type (
+	// Tracer owns a span ring and records sampled raises.
+	Tracer = trace.Tracer
+	// TraceConfig sizes the span ring and sets the 1-in-N sampling rate.
+	TraceConfig = trace.Config
+	// Span is one decoded trace record.
+	Span = trace.Span
+)
+
+// NewTracer creates a tracer; pass it to WithTracer (dispatcher-wide),
+// MachineConfig.Trace (machine-wide), or Event.Trace (per event).
+var NewTracer = trace.New
+
+// WithTracer enables dispatch tracing for every event defined on the
+// dispatcher.
+var WithTracer = dispatch.WithTracer
 
 // Pred is an inlinable guard predicate; guards built from predicates are
 // FUNCTIONAL by construction and eligible for inlining into the generated

@@ -59,6 +59,9 @@ func NewEvent0(d *Dispatcher, name string, opts ...dispatch.EventOption) (*Event
 // (authorizers, result handlers, ordering queries).
 func (e *Event0) Underlying() *Event { return e.ev }
 
+// Trace enables (or, with nil, disables) dispatch tracing for this event.
+func (e *Event0) Trace(t *Tracer) { e.ev.Trace(t) }
+
 // Raise announces the event through the zero-allocation arity-specialized
 // path.
 func (e *Event0) Raise() error {
@@ -89,6 +92,9 @@ func NewEvent1[A1 any](d *Dispatcher, name string, opts ...dispatch.EventOption)
 
 // Underlying exposes the untyped event.
 func (e *Event1[A1]) Underlying() *Event { return e.ev }
+
+// Trace enables (or, with nil, disables) dispatch tracing for this event.
+func (e *Event1[A1]) Trace(t *Tracer) { e.ev.Trace(t) }
 
 // Raise announces the event through the arity-specialized path: the
 // argument travels in a pooled fixed-size frame, not a fresh []any.
@@ -134,6 +140,9 @@ func NewEvent2[A1, A2 any](d *Dispatcher, name string, opts ...dispatch.EventOpt
 
 // Underlying exposes the untyped event.
 func (e *Event2[A1, A2]) Underlying() *Event { return e.ev }
+
+// Trace enables (or, with nil, disables) dispatch tracing for this event.
+func (e *Event2[A1, A2]) Trace(t *Tracer) { e.ev.Trace(t) }
 
 // Raise announces the event through the arity-specialized path.
 func (e *Event2[A1, A2]) Raise(a1 A1, a2 A2) error {
@@ -184,6 +193,9 @@ func NewEvent3[A1, A2, A3 any](d *Dispatcher, name string, opts ...dispatch.Even
 // Underlying exposes the untyped event.
 func (e *Event3[A1, A2, A3]) Underlying() *Event { return e.ev }
 
+// Trace enables (or, with nil, disables) dispatch tracing for this event.
+func (e *Event3[A1, A2, A3]) Trace(t *Tracer) { e.ev.Trace(t) }
+
 // Raise announces the event through the arity-specialized path.
 func (e *Event3[A1, A2, A3]) Raise(a1 A1, a2 A2, a3 A3) error {
 	_, err := e.ev.Raise3(a1, a2, a3)
@@ -227,6 +239,9 @@ func NewFuncEvent0[R any](d *Dispatcher, name string, opts ...dispatch.EventOpti
 // Underlying exposes the untyped event.
 func (e *FuncEvent0[R]) Underlying() *Event { return e.ev }
 
+// Trace enables (or, with nil, disables) dispatch tracing for this event.
+func (e *FuncEvent0[R]) Trace(t *Tracer) { e.ev.Trace(t) }
+
 // Raise announces the event and returns the merged result.
 func (e *FuncEvent0[R]) Raise() (R, error) {
 	res, err := e.ev.Raise0()
@@ -257,6 +272,9 @@ func NewFuncEvent1[A1, R any](d *Dispatcher, name string, opts ...dispatch.Event
 
 // Underlying exposes the untyped event.
 func (e *FuncEvent1[A1, R]) Underlying() *Event { return e.ev }
+
+// Trace enables (or, with nil, disables) dispatch tracing for this event.
+func (e *FuncEvent1[A1, R]) Trace(t *Tracer) { e.ev.Trace(t) }
 
 // Raise announces the event and returns the merged result.
 func (e *FuncEvent1[A1, R]) Raise(a1 A1) (R, error) {
@@ -299,6 +317,9 @@ func NewFuncEvent2[A1, A2, R any](d *Dispatcher, name string, opts ...dispatch.E
 
 // Underlying exposes the untyped event.
 func (e *FuncEvent2[A1, A2, R]) Underlying() *Event { return e.ev }
+
+// Trace enables (or, with nil, disables) dispatch tracing for this event.
+func (e *FuncEvent2[A1, A2, R]) Trace(t *Tracer) { e.ev.Trace(t) }
 
 // Raise announces the event and returns the merged result.
 func (e *FuncEvent2[A1, A2, R]) Raise(a1 A1, a2 A2) (R, error) {
