@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke bench tables json
+.PHONY: check vet build test race fuzz-smoke faultcheck bench tables json
 
 check: vet build test race
 
@@ -26,6 +26,12 @@ race:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzPredCompile -fuzztime 10s -run '^$$' ./internal/codegen/
 	$(GO) test -fuzz FuzzTreeDispatch -fuzztime 10s -run '^$$' ./internal/codegen/
+
+# The fault-injection suite under the race detector: quarantine and
+# probation recompiles race against concurrent raises, watchdog timers race
+# against handler completion, and the ledger races against everything.
+faultcheck:
+	$(GO) test -race -count=2 -run 'Fault|Quarantine|Probation|Deadline|Inject|Ledger' ./internal/... .
 
 # Native (wall-clock) microbenchmarks, including the zero-allocation
 # parallel raise path.

@@ -7,6 +7,7 @@
 //	spinbench -table install  §3.1 installation overhead
 //	spinbench -table async    §3.1 asynchronous event overhead
 //	spinbench -table micro    §3.1 syscall/thread event overhead
+//	spinbench -table faults   raise throughput under injected handler panics
 //	spinbench -table all      everything
 //	spinbench -disasm         dispatch plan disassembly tour
 //
@@ -20,14 +21,19 @@ import (
 	"fmt"
 	"os"
 	"sync/atomic"
+	"testing"
+	"time"
 
 	"spin/internal/bench"
 	"spin/internal/codegen"
+	"spin/internal/dispatch"
+	"spin/internal/fault"
+	"spin/internal/rtti"
 	"spin/internal/vtime"
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1, 2, tree, install, async, micro, all")
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, tree, install, async, micro, faults, all")
 	disasm := flag.Bool("disasm", false, "show dispatch plan disassembly for representative events")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the formatted tables (seeds BENCH_dispatch.json)")
 	flag.Parse()
@@ -58,6 +64,15 @@ func main() {
 	run("install", installOverhead)
 	run("async", asyncOverhead)
 	run("micro", micro)
+	// The faults scenario measures native (wall-clock) time, so it is not
+	// part of -table all: "all" stays the byte-for-byte deterministic
+	// virtual-time set.
+	if *table == "faults" {
+		if err := faultsTable(); err != nil {
+			fmt.Fprintf(os.Stderr, "spinbench: faults: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // jsonReport is the -json output shape: the same virtual-time measurements
@@ -278,6 +293,69 @@ func micro() error {
 		vtime.InMicros(m.SyscallDirect), vtime.InMicros(m.SyscallEvented), m.SyscallOverheadPct())
 	fmt.Printf("  thread switch:  direct %6.2f us, evented %6.2f us -> %4.1f%%\n",
 		vtime.InMicros(m.ThreadDirect), vtime.InMicros(m.ThreadEvented), m.ThreadOverheadPct())
+	fmt.Println()
+	return nil
+}
+
+// faultsTable measures native raise throughput with the fault-isolation
+// subsystem active while a deterministic injector panics in the handler at
+// a fixed rate. The budget is unreachable, so the binding is never
+// quarantined: the scenario isolates the per-raise cost of protection
+// (recovery barriers in the plan) and of recording a fault when one fires.
+// The zero-rate row is the acceptance bound — it must stay within noise of
+// the unprotected fast path, with 0 allocs/raise.
+func faultsTable() error {
+	fmt.Println("Raise throughput under injected handler panics (native time, 1 word arg)")
+	sig := rtti.Sig(nil, rtti.Word)
+	mod := rtti.NewModule("Bench")
+	measure := func(label string, withPolicy bool, every uint64) error {
+		var opts []dispatch.Option
+		if withPolicy {
+			opts = append(opts, dispatch.WithFaultPolicy(fault.Policy{
+				Budget: 1 << 30, ProbationBudget: 1 << 30,
+				Backoff: time.Hour, History: 16,
+			}))
+		}
+		d := dispatch.New(opts...)
+		impl := func(any, []any) any { return nil }
+		if every > 0 {
+			impl = fault.NewInjector().PanicEvery("bench", every, 0).Handler("bench", impl)
+		}
+		ev, err := d.DefineEvent("Bench.Faults", sig, dispatch.WithIntrinsic(dispatch.Handler{
+			Proc: &rtti.Proc{Name: "Bench.H", Module: mod, Sig: sig},
+			Fn:   impl,
+		}))
+		if err != nil {
+			return err
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Raise1(uint64(7)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		faults := ""
+		if withPolicy {
+			faults = fmt.Sprintf("  (%d faults recorded)", d.FaultLedger().Total())
+		}
+		fmt.Printf("  %-22s %7.1f ns/op  %d allocs/op%s\n",
+			label, float64(res.T.Nanoseconds())/float64(res.N), res.AllocsPerOp(), faults)
+		return nil
+	}
+	if err := measure("policy off", false, 0); err != nil {
+		return err
+	}
+	if err := measure("policy on, 0% faults", true, 0); err != nil {
+		return err
+	}
+	if err := measure("policy on, 0.1% faults", true, 1000); err != nil {
+		return err
+	}
+	if err := measure("policy on, 1% faults", true, 100); err != nil {
+		return err
+	}
 	fmt.Println()
 	return nil
 }

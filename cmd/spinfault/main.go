@@ -1,0 +1,188 @@
+// Command spinfault replays the webserver scenario under deterministic
+// fault injection and prints the quarantine ledger: a flaky cache
+// extension panics on a fixed cadence, exhausts its fault budget, is
+// quarantined out of the Httpd.Request dispatch plan, and is later
+// re-admitted on probation — all while the intrinsic file server keeps
+// answering every request.
+//
+//	spinfault                      default drill: panic every 3rd request, budget 3
+//	spinfault -requests 40 -every 2
+//	spinfault -budget 5 -backoff 200ms
+//
+// The machine is metered, so the whole quarantine lifecycle (backoff,
+// probation, restoration) runs in virtual time on the discrete-event
+// simulator and the run is reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"spin/internal/dispatch"
+	"spin/internal/fault"
+	"spin/internal/fs"
+	"spin/internal/httpd"
+	"spin/internal/kernel"
+	"spin/internal/netstack"
+	"spin/internal/netwire"
+	"spin/internal/rtti"
+	"spin/internal/sched"
+	"spin/internal/trace"
+	"spin/internal/vtime"
+)
+
+func main() {
+	requests := flag.Int("requests", 24, "number of GET / requests to replay")
+	every := flag.Uint64("every", 3, "inject a panic into every Nth cache invocation")
+	budget := flag.Int("budget", 3, "faults per binding before quarantine")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "initial quarantine backoff (virtual time)")
+	flag.Parse()
+
+	tracer := trace.New(trace.Config{Capacity: 16384})
+	policy := fault.DefaultPolicy()
+	policy.Budget = *budget
+	policy.Backoff = *backoff
+
+	a, err := kernel.Boot(kernel.Config{Name: "spin", Metered: true,
+		Trace: tracer, FaultPolicy: &policy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := kernel.Boot(kernel.Config{Name: "browser", ShareWith: a})
+	if err != nil {
+		log.Fatal(err)
+	}
+	link := netwire.NewLink(a.Sim, 0, 0)
+	nicA, _ := link.Attach("mac-a")
+	nicB, _ := link.Attach("mac-b")
+	arp := map[string]string{"10.0.0.1": "mac-a", "10.0.0.2": "mac-b"}
+	sa, err := netstack.New(netstack.Config{Dispatcher: a.Dispatcher, CPU: a.CPU,
+		Sched: a.Sched, NIC: nicA, IP: "10.0.0.1", ARP: arp})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sb, err := netstack.New(netstack.Config{Dispatcher: b.Dispatcher, CPU: b.CPU,
+		Sched: b.Sched, NIC: nicB, IP: "10.0.0.2", ARP: arp, Prefix: "B:"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fsA, err := fs.New(a.Dispatcher, a.CPU, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fsA.Put("/www/index.html", []byte("<h1>The SPIN Project</h1>"))
+
+	srv, err := httpd.New(a.Dispatcher, httpd.Config{Stack: sa, FS: fsA, Sched: a.Sched})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The flaky extension: a response cache that panics on every Nth
+	// lookup, wired through the deterministic injection harness. It
+	// contributes no response of its own, so the intrinsic file server
+	// remains the source of truth — the drill measures isolation, not
+	// redundancy.
+	inj := fault.NewInjector().PanicEvery("Flaky.Cache", *every, 0)
+	sig := srv.Request.Signature()
+	flakyMod := rtti.NewModule("Flaky")
+	flaky, err := srv.Request.Install(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Flaky.Cache", Module: flakyMod, Sig: sig},
+		Fn: inj.Handler("Flaky.Cache", func(clo any, args []any) any {
+			return (*httpd.Response)(nil)
+		}),
+	}, dispatch.First())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A healthy logging extension rides along to show unrelated bindings
+	// are untouched by the quarantine.
+	served := 0
+	_, err = srv.Request.Install(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Log.Access", Module: rtti.NewModule("Log"), Sig: sig},
+		Fn: func(clo any, args []any) any {
+			served++
+			return (*httpd.Response)(nil)
+		},
+	}, dispatch.Last())
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = srv.Request.SetResultHandler(func(acc, res any, i int) any {
+		if r, ok := res.(*httpd.Response); ok && r != nil {
+			return r
+		}
+		return acc
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The browser machine issues the request storm over simulated TCP.
+	client, err := httpd.NewClient(sb, "10.0.0.1", 80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sent := false
+	b.Sched.Spawn("browser", 0, func(st *sched.Strand) sched.Status {
+		if !client.Conn().Established() {
+			client.Conn().AwaitEstablished(st)
+			return sched.Block
+		}
+		if !sent {
+			sent = true
+			for i := 0; i < *requests; i++ {
+				_ = client.Get("/")
+			}
+		}
+		client.Pump()
+		if len(client.Responses) >= *requests {
+			_ = client.Conn().Close()
+			return sched.Done
+		}
+		client.Conn().AwaitData(st)
+		return sched.Block
+	})
+	a.Sim.Run(0)
+
+	ok, bad := 0, 0
+	for _, r := range client.Responses {
+		if r.Status == 200 {
+			ok++
+		} else {
+			bad++
+		}
+	}
+	fmt.Printf("-- %d requests over the simulated wire --\n", *requests)
+	fmt.Printf("responses: %d OK, %d errors (every raise survived its faults)\n", ok, bad)
+	fmt.Printf("flaky cache invocations: %d of %d requests (the gap is the quarantine window)\n",
+		inj.Count("Flaky.Cache"), *requests)
+	fmt.Printf("access logger saw %d requests (healthy bindings untouched)\n", served)
+
+	ledger := a.Dispatcher.FaultLedger()
+	fmt.Printf("\n-- quarantine ledger: %d faults recorded --\n", ledger.Total())
+	for _, r := range ledger.Records() {
+		fmt.Println("  ", r)
+	}
+	fmt.Printf("Flaky.Cache final state: %v (quarantine level %d, in plan: %v)\n",
+		flaky.FaultState(), ledger.Level(flaky), !flaky.Quarantined())
+
+	fmt.Println("\n-- lifecycle spans, in causal order --")
+	for _, sp := range tracer.Snapshot() {
+		switch sp.Kind {
+		case trace.KindFault:
+			fmt.Printf("  fault       %s on %s\n", sp.Name, sp.Event)
+		case trace.KindQuarantine:
+			fmt.Printf("  quarantine  %s on %s\n", sp.Name, sp.Event)
+		case trace.KindProbation:
+			verb := "probation"
+			if sp.Pass {
+				verb = "restored"
+			}
+			fmt.Printf("  %-11s %s on %s\n", verb, sp.Name, sp.Event)
+		}
+	}
+	fmt.Printf("\nvirtual time elapsed: %v\n", vtime.Duration(a.Clock.Now()))
+}

@@ -1,6 +1,8 @@
 package codegen
 
 import (
+	"context"
+
 	"spin/internal/trace"
 	"spin/internal/vtime"
 )
@@ -40,15 +42,16 @@ func (p *Plan) executeTraced(env *Env, args []any, raise uint64) Outcome {
 		cpu.ChargeN(vtime.CallDirectArg, p.info.Arity)
 		b := p.direct
 		var res any
-		if b.Inline != nil && !p.opts.DisableInline {
-			res = b.Inline.Run(args)
+		completed := true
+		if p.protect != nil {
+			res, completed = p.runBindingProtected(cpu, b, args)
 		} else {
-			res = b.Fn(b.Closure, args)
+			res = p.runBinding(b, args)
 		}
 		if env.OnFire != nil {
 			env.OnFire(b.Tag)
 		}
-		prog.Handler(raise, 0, trace.ModeDirect, true, s, cost(s))
+		prog.Handler(raise, 0, trace.ModeDirect, completed, s, cost(s))
 		prog.RaiseEnd(raise, stamp(), cost(begin), 1, false, false)
 		return Outcome{Result: res, Fired: 1}
 	}
@@ -71,8 +74,13 @@ func (p *Plan) executeTraced(env *Env, args []any, raise uint64) Outcome {
 		if b.Filter {
 			s := stamp()
 			p.chargeHandler(cpu, st)
-			_ = st.call(args)
-			prog.Handler(raise, st.idx, trace.ModeFilter, true, s, cost(s))
+			completed := true
+			if p.protect != nil {
+				_, completed = p.callProtected(cpu, st, args)
+			} else {
+				_ = st.call(args)
+			}
+			prog.Handler(raise, st.idx, trace.ModeFilter, completed, s, cost(s))
 			if env.OnFire != nil {
 				env.OnFire(b.Tag)
 			}
@@ -84,7 +92,11 @@ func (p *Plan) executeTraced(env *Env, args []any, raise uint64) Outcome {
 			s := stamp()
 			p.chargeHandler(cpu, st)
 			inv := p.invoker(st, args)
-			env.Spawn(p.info.Arity, func() { _ = inv() })
+			if env.SpawnHandler != nil {
+				env.SpawnHandler(b.Tag, p.info.Arity, inv)
+			} else {
+				env.Spawn(p.info.Arity, func() { _ = inv(context.Background()) })
+			}
 			prog.Handler(raise, st.idx, trace.ModeAsync, true, s, cost(s))
 			out.Fired++
 			if env.OnFire != nil {
@@ -101,8 +113,12 @@ func (p *Plan) executeTraced(env *Env, args []any, raise uint64) Outcome {
 			prog.Handler(raise, st.idx, trace.ModeEphemeral, completed, s, cost(s))
 		} else {
 			p.chargeHandler(cpu, st)
-			res = st.call(args)
-			prog.Handler(raise, st.idx, trace.ModeSync, true, s, cost(s))
+			if p.protect != nil {
+				res, completed = p.callProtected(cpu, st, args)
+			} else {
+				res = st.call(args)
+			}
+			prog.Handler(raise, st.idx, trace.ModeSync, completed, s, cost(s))
 		}
 		out.Fired++
 		if env.OnFire != nil {
@@ -155,12 +171,13 @@ func (p *Plan) executeTraced(env *Env, args []any, raise uint64) Outcome {
 		s := stamp()
 		cpu.Charge(vtime.HandlerIndirect)
 		var res any
-		if b.Inline != nil && !p.opts.DisableInline {
-			res = b.Inline.Run(args)
+		completed := true
+		if p.protect != nil {
+			res, completed = p.runBindingProtected(cpu, b, args)
 		} else {
-			res = b.Fn(b.Closure, args)
+			res = p.runBinding(b, args)
 		}
-		prog.Handler(raise, -1, trace.ModeDefault, true, s, cost(s))
+		prog.Handler(raise, -1, trace.ModeDefault, completed, s, cost(s))
 		if env.OnFire != nil {
 			env.OnFire(b.Tag)
 		}
@@ -188,6 +205,8 @@ func (p *Plan) evalGuardsTraced(cpu *vtime.CPU, st *step, args []any, raise uint
 			cpu.Charge(vtime.GuardIndirect)
 			if g.Pred != nil {
 				pass = g.Pred.Eval(args)
+			} else if p.protect != nil {
+				pass = p.guardProtected(g, st.b.Tag, args)
 			} else {
 				pass = g.Fn(g.Closure, args)
 			}

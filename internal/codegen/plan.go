@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -15,6 +16,28 @@ type GuardFn func(closure any, args []any) bool
 // HandlerFn is the out-of-line handler calling convention. Void handlers
 // return nil.
 type HandlerFn func(closure any, args []any) any
+
+// CtxHandlerFn is the cancellation-aware handler calling convention: the
+// context is cancelled when a watchdog deadline expires, so a cooperative
+// EPHEMERAL or asynchronous handler can stop early instead of running
+// abandoned (§2.6 "Runaway handlers"). Synchronous invocations receive
+// context.Background().
+type CtxHandlerFn func(ctx context.Context, closure any, args []any) any
+
+// FaultHook receives structured fault captures from protected plan
+// execution. It is implemented by the dispatcher's fault controller; the
+// generator only calls it from plans compiled with Options.Protect.
+type FaultHook interface {
+	// HandlerPanic reports a recovered panic in a handler body; the
+	// handler counts as fired with no result.
+	HandlerPanic(tag any, val any, stack []byte)
+	// GuardPanic reports a recovered panic in an out-of-line guard; the
+	// guard counts as failed.
+	GuardPanic(tag any, val any, stack []byte)
+	// SyncCost reports the virtual-time cost of one synchronous handler
+	// invocation on a metered dispatcher (for overrun budgets).
+	SyncCost(tag any, cost vtime.Duration)
+}
 
 // ResultFn folds handler results: it is called separately for each result
 // produced during a raise, receiving the accumulator (nil initially), the
@@ -39,6 +62,10 @@ type Binding struct {
 	Guards  []Guard
 	Fn      HandlerFn
 	Closure any
+	// CtxFn is the cancellation-aware implementation, used instead of Fn
+	// when non-nil. Synchronous calls pass context.Background(); the
+	// ephemeral and async supervisors pass their watchdog context.
+	CtxFn CtxHandlerFn
 	// Inline, when non-nil, lets the generator inline the handler body.
 	Inline *Body
 	// Async handlers execute on a separate thread of control via
@@ -111,6 +138,14 @@ type Options struct {
 	// tracer costs nothing on the hot path (the zero-cost-off property
 	// TestTracingOffZeroAlloc enforces).
 	Trace *trace.Tracer
+	// Protect, when non-nil, compiles fault capture into the plan: every
+	// handler invocation and out-of-line guard evaluation runs behind a
+	// recover barrier that routes panics (and virtual-time overruns) to
+	// the hook instead of the raiser. A panicking handler counts as fired
+	// with no result; a panicking guard counts as failed. Plans compiled
+	// without Protect carry no recovery code at all — the same
+	// zero-cost-off contract tracing has (DESIGN.md decision 12).
+	Protect FaultHook
 }
 
 // step is one unrolled dispatch step.
@@ -151,6 +186,9 @@ type Plan struct {
 	// plan was compiled with Options.Trace. Untraced plans pay a single
 	// nil check per raise and nothing else.
 	prog *trace.Program
+	// protect is the fault hook compiled into the plan (Options.Protect);
+	// nil plans execute with no recovery barriers at all.
+	protect FaultHook
 }
 
 // Env supplies the execution hooks the generated routine needs from the
@@ -160,12 +198,19 @@ type Env struct {
 	CPU *vtime.CPU
 	// Spawn runs fn on a separate thread of control; arity is the number
 	// of arguments that must be copied to the new thread (it determines
-	// the spawn cost). Required if any binding is Async.
+	// the spawn cost). Required if any binding is Async and SpawnHandler
+	// is nil.
 	Spawn func(arity int, fn func())
+	// SpawnHandler, when non-nil, supersedes Spawn for asynchronous
+	// handler invocations: the dispatcher supervises the spawned
+	// invocation (panic capture, wall-clock watchdog, cooperative
+	// cancellation through the context).
+	SpawnHandler func(tag any, arity int, invoke func(context.Context) any)
 	// RunEphemeral runs invoke under termination supervision, returning
-	// its result and whether it ran to completion. Required if any
+	// its result and whether it ran to completion; the context is
+	// cancelled if the watchdog abandons the invocation. Required if any
 	// binding is Ephemeral.
-	RunEphemeral func(tag any, invoke func() any) (any, bool)
+	RunEphemeral func(tag any, invoke func(context.Context) any) (any, bool)
 	// OnFire, if non-nil, is called with the binding tag each time a
 	// handler fires (including default handlers).
 	OnFire func(tag any)
@@ -190,7 +235,7 @@ type Outcome struct {
 // Compile generates the dispatch routine for the given binding list. The
 // returned plan is immutable; the dispatcher swaps it in atomically.
 func Compile(info EventInfo, bindings []*Binding, resultFn ResultFn, defaultB *Binding, opts Options) *Plan {
-	p := &Plan{info: info, opts: opts, resultFn: resultFn, defaultB: defaultB}
+	p := &Plan{info: info, opts: opts, resultFn: resultFn, defaultB: defaultB, protect: opts.Protect}
 	for _, b := range bindings {
 		st, live := compileBinding(b, opts)
 		if !live {
@@ -258,6 +303,9 @@ func bindingMode(b *Binding) trace.Mode {
 
 // Traced reports whether trace recording is compiled into the plan.
 func (p *Plan) Traced() bool { return p.prog != nil }
+
+// Protected reports whether fault capture is compiled into the plan.
+func (p *Plan) Protected() bool { return p.protect != nil }
 
 // TreeUnits reports the number of decision-tree units in the plan and the
 // total bindings they cover (for tests and disassembly).
@@ -363,10 +411,10 @@ func (p *Plan) Execute(env *Env, args []any) Outcome {
 		cpu.ChargeN(vtime.CallDirectArg, p.info.Arity)
 		b := p.direct
 		var res any
-		if b.Inline != nil && !p.opts.DisableInline {
-			res = b.Inline.Run(args)
+		if p.protect != nil {
+			res, _ = p.runBindingProtected(cpu, b, args)
 		} else {
-			res = b.Fn(b.Closure, args)
+			res = p.runBinding(b, args)
 		}
 		if env.OnFire != nil {
 			env.OnFire(b.Tag)
@@ -401,7 +449,11 @@ func (p *Plan) Execute(env *Env, args []any) Outcome {
 			// they neither produce results nor count as the event
 			// having been handled (§2.3 "Passing arguments").
 			p.chargeHandler(cpu, st)
-			_ = st.call(args)
+			if p.protect != nil {
+				_, _ = p.callProtected(cpu, st, args)
+			} else {
+				_ = st.call(args)
+			}
 			if env.OnFire != nil {
 				env.OnFire(b.Tag)
 			}
@@ -410,7 +462,11 @@ func (p *Plan) Execute(env *Env, args []any) Outcome {
 		if b.Async {
 			p.chargeHandler(cpu, st)
 			inv := p.invoker(st, args)
-			env.Spawn(p.info.Arity, func() { _ = inv() })
+			if env.SpawnHandler != nil {
+				env.SpawnHandler(b.Tag, p.info.Arity, inv)
+			} else {
+				env.Spawn(p.info.Arity, func() { _ = inv(context.Background()) })
+			}
 			out.Fired++
 			if env.OnFire != nil {
 				env.OnFire(b.Tag)
@@ -424,7 +480,11 @@ func (p *Plan) Execute(env *Env, args []any) Outcome {
 			res, completed = env.RunEphemeral(b.Tag, p.invoker(st, args))
 		} else {
 			p.chargeHandler(cpu, st)
-			res = st.call(args)
+			if p.protect != nil {
+				res, completed = p.callProtected(cpu, st, args)
+			} else {
+				res = st.call(args)
+			}
 		}
 		out.Fired++
 		if env.OnFire != nil {
@@ -472,10 +532,10 @@ func (p *Plan) Execute(env *Env, args []any) Outcome {
 		b := p.defaultB
 		cpu.Charge(vtime.HandlerIndirect)
 		var res any
-		if b.Inline != nil && !p.opts.DisableInline {
-			res = b.Inline.Run(args)
+		if p.protect != nil {
+			res, _ = p.runBindingProtected(cpu, b, args)
 		} else {
-			res = b.Fn(b.Closure, args)
+			res = p.runBinding(b, args)
 		}
 		if env.OnFire != nil {
 			env.OnFire(b.Tag)
@@ -504,6 +564,8 @@ func (p *Plan) evalGuards(cpu *vtime.CPU, st *step, args []any) bool {
 			// Inlining disabled: the generator emitted an
 			// out-of-line call to the predicate.
 			pass = g.Pred.Eval(args)
+		} else if p.protect != nil {
+			pass = p.guardProtected(g, st.b.Tag, args)
 		} else {
 			pass = g.Fn(g.Closure, args)
 		}
@@ -532,18 +594,36 @@ func (st *step) call(args []any) any {
 	if st.inline {
 		return b.Inline.Run(args)
 	}
+	if b.CtxFn != nil {
+		return b.CtxFn(context.Background(), b.Closure, args)
+	}
+	return b.Fn(b.Closure, args)
+}
+
+// runBinding invokes a non-step binding (direct bypass, default handler).
+func (p *Plan) runBinding(b *Binding, args []any) any {
+	if b.Inline != nil && !p.opts.DisableInline {
+		return b.Inline.Run(args)
+	}
+	if b.CtxFn != nil {
+		return b.CtxFn(context.Background(), b.Closure, args)
+	}
 	return b.Fn(b.Closure, args)
 }
 
 // invoker returns the handler invocation closure for a step, used by the
 // asynchronous and ephemeral paths whose invocations outlive the loop
-// iteration.
-func (p *Plan) invoker(st *step, args []any) func() any {
+// iteration. The context parameter carries watchdog cancellation to
+// cooperative (CtxFn) handlers.
+func (p *Plan) invoker(st *step, args []any) func(context.Context) any {
 	b := st.b
 	if st.inline {
-		return func() any { return b.Inline.Run(args) }
+		return func(context.Context) any { return b.Inline.Run(args) }
 	}
-	return func() any { return b.Fn(b.Closure, args) }
+	if b.CtxFn != nil {
+		return func(ctx context.Context) any { return b.CtxFn(ctx, b.Closure, args) }
+	}
+	return func(context.Context) any { return b.Fn(b.Closure, args) }
 }
 
 // Disassemble renders the plan as pseudo-code, the analog of dumping the

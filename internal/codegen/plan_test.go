@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -277,7 +278,7 @@ func TestAsyncHandlerSpawns(t *testing.T) {
 
 func TestEphemeralHandlerSupervised(t *testing.T) {
 	term := 0
-	env := &Env{RunEphemeral: func(tag any, invoke func() any) (any, bool) {
+	env := &Env{RunEphemeral: func(tag any, invoke func(context.Context) any) (any, bool) {
 		term++
 		if tag != "tag" {
 			t.Errorf("tag = %v", tag)

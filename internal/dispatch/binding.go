@@ -1,16 +1,25 @@
 package dispatch
 
 import (
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
 	"spin/internal/codegen"
+	"spin/internal/fault"
 	"spin/internal/rtti"
 )
 
 // HandlerFn is the handler calling convention: the installation closure
 // (nil when none) and the raise arguments. Void handlers return nil.
 type HandlerFn = codegen.HandlerFn
+
+// CtxHandlerFn is the cancellation-aware handler calling convention: the
+// context is cancelled when a supervising watchdog (EPHEMERAL or
+// asynchronous deadline) abandons the invocation, so a cooperative handler
+// can stop early. For synchronous, unsupervised invocations the context is
+// context.Background().
+type CtxHandlerFn = codegen.CtxHandlerFn
 
 // GuardFn is the guard calling convention; guards must be side-effect free.
 type GuardFn = codegen.GuardFn
@@ -26,9 +35,14 @@ type Handler struct {
 	// Proc is the procedure descriptor used for installation-time
 	// typechecking and authority decisions. Required.
 	Proc *rtti.Proc
-	// Fn is the out-of-line implementation. Required unless Inline is
-	// set.
+	// Fn is the out-of-line implementation. Required unless Inline or
+	// CtxFn is set.
 	Fn HandlerFn
+	// CtxFn is a cancellation-aware implementation, preferred over Fn
+	// when both are set. Handlers that may run under a deadline watchdog
+	// (EPHEMERAL or asynchronous with WithDeadline) should use CtxFn and
+	// honor context cancellation.
+	CtxFn CtxHandlerFn
 	// Inline, when non-nil, allows the code generator to inline the
 	// handler body into the dispatch routine.
 	Inline *codegen.Body
@@ -102,15 +116,20 @@ type Binding struct {
 	imposed []Guard // authority-imposed guards (§2.5)
 	order   Order
 
-	async             bool
-	ephemeral         bool
-	ephemeralDeadline time.Duration
-	filter            bool
-	intrinsic         bool
-	isDefault         bool
-	credential        any
+	async      bool
+	ephemeral  bool
+	deadline   time.Duration // EPHEMERAL or async watchdog deadline
+	filter     bool
+	intrinsic  bool
+	isDefault  bool
+	credential any
 
 	installed bool
+	// quarantined marks a binding compiled out of its event's plan by the
+	// fault controller; recompile skips it until probation re-admits it.
+	// Atomic because the readmission timer flips it off-lock-order with
+	// fault observation (see faultctl.go).
+	quarantined atomic.Bool
 	// fired is striped: it is incremented on every firing of a hot
 	// binding, potentially from many cores at once (see stripe.go).
 	fired        stripedCounter
@@ -161,6 +180,16 @@ func (b *Binding) Terminations() int64 { return b.terminations.Load() }
 // cooperative EPHEMERAL handler may poll it to stop early.
 func (b *Binding) Terminated() bool { return b.terminated.Load() }
 
+// Quarantined reports whether the fault controller has compiled the
+// binding out of its event's dispatch plan.
+func (b *Binding) Quarantined() bool { return b.quarantined.Load() }
+
+// FaultState returns the binding's state in the dispatcher's fault ledger
+// (Healthy for a binding that has never exhausted a budget).
+func (b *Binding) FaultState() fault.State {
+	return b.event.d.faults.ledger.State(b)
+}
+
 // Installed reports whether the binding is currently on its event's
 // handler list.
 func (b *Binding) Installed() bool {
@@ -188,6 +217,7 @@ func (b *Binding) ImposedGuards() []Guard {
 func (b *Binding) compile(d *Dispatcher) *codegen.Binding {
 	cb := &codegen.Binding{
 		Fn:        b.handler.Fn,
+		CtxFn:     b.handler.CtxFn,
 		Closure:   b.closure,
 		Inline:    b.handler.Inline,
 		Async:     b.async,
@@ -197,17 +227,17 @@ func (b *Binding) compile(d *Dispatcher) *codegen.Binding {
 		Name:      b.HandlerName(),
 	}
 	for _, g := range b.guards {
-		cb.Guards = append(cb.Guards, d.compileGuard(g))
+		cb.Guards = append(cb.Guards, d.compileGuard(b, g))
 	}
 	for _, g := range b.imposed {
-		cb.Guards = append(cb.Guards, d.compileGuard(g))
+		cb.Guards = append(cb.Guards, d.compileGuard(b, g))
 	}
 	return cb
 }
 
 // compileGuard lowers one guard, wrapping out-of-line guards with the
 // purity monitor when enabled.
-func (d *Dispatcher) compileGuard(g Guard) codegen.Guard {
+func (d *Dispatcher) compileGuard(b *Binding, g Guard) codegen.Guard {
 	cg := codegen.Guard{Closure: g.Closure, Pred: g.Pred}
 	if g.Pred != nil {
 		return cg
@@ -220,7 +250,7 @@ func (d *Dispatcher) compileGuard(g Guard) codegen.Guard {
 			copy(snap, args)
 			r := inner(closure, args)
 			for i := range snap {
-				if !looselyEqual(snap[i], args[i]) {
+				if !d.looselyEqual(b, snap[i], args[i]) {
 					panic(ErrGuardMutatedArgs)
 				}
 			}
@@ -233,14 +263,30 @@ func (d *Dispatcher) compileGuard(g Guard) codegen.Guard {
 
 // looselyEqual compares two argument values, treating uncomparable values
 // as equal (in-place mutation through a shared reference is invisible to a
-// shallow snapshot either way).
-func looselyEqual(a, b any) (eq bool) {
+// shallow snapshot either way). A recovered comparison panic is recorded
+// in the fault ledger as an observational KindCompare record — not charged
+// against any budget — instead of vanishing silently.
+func (d *Dispatcher) looselyEqual(b *Binding, x, y any) (eq bool) {
 	defer func() {
-		if recover() != nil {
+		if v := recover(); v != nil {
 			eq = true
+			r := fault.Record{
+				Kind:   fault.KindCompare,
+				Origin: fault.OriginGuard,
+				Value:  v,
+				Stack:  debug.Stack(),
+			}
+			if b != nil {
+				r.Event = b.event.name
+				r.Handler = b.HandlerName()
+				if m := b.Installer(); m != nil {
+					r.Module = m.Name()
+				}
+			}
+			d.faults.ledger.Note(r)
 		}
 	}()
-	return a == b
+	return x == y
 }
 
 // countGuards reports the number of guards (installer plus imposed) on the

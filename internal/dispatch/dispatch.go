@@ -29,11 +29,14 @@
 package dispatch
 
 import (
+	"context"
 	"errors"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"spin/internal/codegen"
+	"spin/internal/fault"
 	"spin/internal/trace"
 	"spin/internal/vtime"
 )
@@ -57,6 +60,7 @@ var (
 	ErrNilHandler           = errors.New("dispatch: handler has no implementation")
 	ErrGuardMutatedArgs     = errors.New("dispatch: FUNCTIONAL guard mutated its arguments")
 	ErrIntrinsicNotDeferred = errors.New("dispatch: event already has an intrinsic handler")
+	ErrModuleQuarantined    = errors.New("dispatch: module is quarantined")
 )
 
 // Dispatcher oversees event-based communication for one kernel instance.
@@ -73,6 +77,12 @@ type Dispatcher struct {
 	spawner func(fn func())
 	quota   quotas
 	tracer  *trace.Tracer
+
+	// faults is the fault controller: always present so every recovered
+	// panic is recorded, enforcing (quarantine, deadlines, budgets) only
+	// when a policy was installed with WithFaultPolicy.
+	faults      *faultCtl
+	faultPolicy *fault.Policy
 }
 
 // Option configures a Dispatcher.
@@ -122,6 +132,19 @@ func WithTracer(t *trace.Tracer) Option {
 // Tracer returns the dispatcher-wide tracer, or nil.
 func (d *Dispatcher) Tracer() *trace.Tracer { return d.tracer }
 
+// WithFaultPolicy enables fault enforcement: every event's dispatch plan
+// is compiled with fault capture, recovered panics and deadline overruns
+// are charged against the policy's budgets, and bindings that exhaust a
+// budget are quarantined — compiled out of their event's plan, re-admitted
+// on probation after exponential backoff (see internal/fault and DESIGN.md
+// decision 12). Without this option the dispatcher still records faults
+// from its supervised paths (EPHEMERAL and asynchronous handlers, the
+// purity monitor) into a record-only ledger, but never quarantines and
+// compiles no recovery barriers into synchronous dispatch.
+func WithFaultPolicy(p fault.Policy) Option {
+	return func(d *Dispatcher) { d.faultPolicy = &p }
+}
+
 // New creates a dispatcher.
 func New(opts ...Option) *Dispatcher {
 	d := &Dispatcher{events: make(map[string]*Event)}
@@ -131,8 +154,17 @@ func New(opts ...Option) *Dispatcher {
 	if d.spawner == nil {
 		d.spawner = func(fn func()) { go fn() }
 	}
+	pol := fault.Policy{}
+	if d.faultPolicy != nil {
+		pol = *d.faultPolicy
+	}
+	d.faults = newFaultCtl(d, pol)
 	return d
 }
+
+// FaultLedger returns the dispatcher's fault ledger. It always exists;
+// without WithFaultPolicy it records faults but never quarantines.
+func (d *Dispatcher) FaultLedger() *fault.Ledger { return d.faults.ledger }
 
 // CPU returns the dispatcher's meter (nil when unmetered).
 func (d *Dispatcher) CPU() *vtime.CPU { return d.cpu }
@@ -176,32 +208,56 @@ func (d *Dispatcher) spawn(arity int, fn func()) {
 	d.spawner(fn)
 }
 
+// afterFunc schedules fn after dur: as a discrete event in simulator mode
+// (deterministic; fires when the simulation reaches that time), on a
+// wall-clock timer otherwise. Quarantine backoff and probation timers run
+// through here so fault recovery works identically in both modes.
+func (d *Dispatcher) afterFunc(dur time.Duration, fn func()) {
+	if d.sim != nil {
+		d.sim.After(vtime.Duration(dur), fn)
+		return
+	}
+	time.AfterFunc(dur, fn)
+}
+
 // runEphemeral supervises an EPHEMERAL handler invocation (§2.6 "Runaway
 // handlers"). In real-time mode the handler runs on its own goroutine with
 // a watchdog; if the deadline passes, the invocation is abandoned — the
 // dispatcher returns to the raiser, the handler's eventual result is
-// discarded, and the binding's termination counter advances. A panicking
-// handler is likewise treated as terminated. Go cannot destroy a thread,
-// so abandonment substitutes for SPIN's termination; see DESIGN.md.
+// discarded, the invocation's context is cancelled so a cooperative handler
+// can stop early, and the binding's termination counter advances. A
+// panicking handler is likewise treated as terminated. Go cannot destroy a
+// thread, so abandonment-plus-cancellation substitutes for SPIN's
+// termination; see DESIGN.md. Panics and deadline overruns are recorded in
+// the fault ledger and, under an enforcing policy, charged against the
+// binding's budget.
 //
 // In simulator mode handler bodies execute instantly in wall-clock terms,
 // so the watchdog cannot fire; the supervisor still recovers panics.
-func (d *Dispatcher) runEphemeral(tag any, deadline time.Duration, invoke func() any) (any, bool) {
+func (d *Dispatcher) runEphemeral(tag any, deadline time.Duration, invoke func(context.Context) any) (any, bool) {
 	b, _ := tag.(*Binding)
 	if d.sim != nil || deadline <= 0 {
-		res, ok := protect(invoke)
-		if !ok && b != nil {
-			b.terminations.Add(1)
+		res, ok, val, stack := runProtected(context.Background(), invoke)
+		if !ok {
+			if b != nil {
+				b.terminations.Add(1)
+			}
+			d.faults.handlerPanic(b, val, stack)
 		}
 		return res, ok
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	type reply struct {
 		res any
 		ok  bool
 	}
 	done := make(chan reply, 1)
 	go func() {
-		res, ok := protect(invoke)
+		defer cancel()
+		res, ok, val, stack := runProtected(ctx, invoke)
+		if !ok {
+			d.faults.handlerPanic(b, val, stack)
+		}
 		done <- reply{res, ok}
 	}()
 	timer := time.NewTimer(deadline)
@@ -213,20 +269,68 @@ func (d *Dispatcher) runEphemeral(tag any, deadline time.Duration, invoke func()
 		}
 		return r.res, r.ok
 	case <-timer.C:
+		cancel()
 		if b != nil {
 			b.terminations.Add(1)
 			b.terminated.Store(true)
 		}
+		d.faults.deadline(b, deadline)
 		return nil, false
 	}
 }
 
-// protect runs invoke, converting a panic into a termination.
-func protect(invoke func() any) (res any, ok bool) {
+// spawnHandler supervises one asynchronous handler invocation: the handler
+// runs on its own thread of control (via spawn) behind a recovery barrier,
+// so a panicking asynchronous handler is recorded as a fault instead of
+// crashing the process. When the binding (or the fault policy) carries an
+// asynchronous deadline and the dispatcher runs in real time, a wall-clock
+// watchdog cancels the invocation's context and records a deadline fault;
+// as with EPHEMERAL handlers, cancellation is cooperative.
+func (d *Dispatcher) spawnHandler(tag any, arity int, invoke func(context.Context) any) {
+	b, _ := tag.(*Binding)
+	deadline := d.faults.asyncDeadline(b)
+	d.spawn(arity, func() {
+		ctx := context.Background()
+		var cancel context.CancelFunc
+		var timer *time.Timer
+		if deadline > 0 && d.sim == nil {
+			ctx, cancel = context.WithCancel(ctx)
+			timer = time.AfterFunc(deadline, func() {
+				if b != nil {
+					b.terminations.Add(1)
+					b.terminated.Store(true)
+				}
+				d.faults.deadline(b, deadline)
+				cancel()
+			})
+		}
+		_, ok, val, stack := runProtected(ctx, invoke)
+		if timer != nil {
+			timer.Stop()
+			cancel()
+		}
+		if !ok {
+			if b != nil {
+				b.terminations.Add(1)
+			}
+			d.faults.handlerPanic(b, val, stack)
+		}
+	})
+}
+
+// runProtected runs invoke, converting a panic into a termination and
+// handing back the panic value and stack for the fault ledger.
+func runProtected(ctx context.Context, invoke func(context.Context) any) (res any, ok bool, val any, stack []byte) {
 	defer func() {
-		if recover() != nil {
-			res, ok = nil, false
+		if ok {
+			return
+		}
+		res = nil
+		if val = recover(); val != nil {
+			stack = debug.Stack()
 		}
 	}()
-	return invoke(), true
+	res = invoke(ctx)
+	ok = true
+	return
 }

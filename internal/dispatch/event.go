@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -230,15 +231,24 @@ func (e *Event) Tracer() *trace.Tracer {
 func (e *Event) recompile(charge bool) {
 	specs := make([]*codegen.Binding, 0, len(e.bindings))
 	for _, b := range e.bindings {
+		if b.quarantined.Load() {
+			// Quarantined bindings stay on the handler list (their
+			// installation is intact) but are compiled out of the plan,
+			// so the hot path pays nothing for them (DESIGN.md 12).
+			continue
+		}
 		specs = append(specs, b.compile(e.d))
 	}
 	var def *codegen.Binding
-	if e.defaultB != nil {
+	if e.defaultB != nil && !e.defaultB.quarantined.Load() {
 		def = e.defaultB.compile(e.d)
 	}
 	info := codegen.EventInfo{Name: e.name, Arity: e.sig.Arity(), HasResult: e.sig.HasResult()}
 	opts := e.d.cgOpts
 	opts.Trace = e.tracer
+	if e.d.faults.enforce {
+		opts.Protect = e.d.faults
+	}
 	plan := codegen.Compile(info, specs, e.resultFn, def, opts)
 	if charge {
 		cpu := e.d.cpu
@@ -304,13 +314,14 @@ func (e *Event) RaiseAsync(args ...any) error {
 // shared by all raises.
 func (e *Event) newEnv() *codegen.Env {
 	return &codegen.Env{
-		CPU:   e.d.cpu,
-		Spawn: e.d.spawn,
-		RunEphemeral: func(tag any, invoke func() any) (any, bool) {
+		CPU:          e.d.cpu,
+		Spawn:        e.d.spawn,
+		SpawnHandler: e.d.spawnHandler,
+		RunEphemeral: func(tag any, invoke func(context.Context) any) (any, bool) {
 			b, _ := tag.(*Binding)
 			var deadline = DefaultEphemeralDeadline
-			if b != nil && b.ephemeralDeadline > 0 {
-				deadline = b.ephemeralDeadline
+			if b != nil && b.deadline > 0 {
+				deadline = b.deadline
 			}
 			return e.d.runEphemeral(tag, deadline, invoke)
 		},

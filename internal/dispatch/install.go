@@ -101,10 +101,19 @@ func WithCredential(cred any) InstallOption {
 	return func(c *installCfg) error { c.credential = cred; return nil }
 }
 
+// WithDeadline attaches a wall-clock watchdog deadline to an asynchronous
+// handler: an invocation still running when the deadline passes has its
+// context cancelled and is recorded as a deadline fault. For EPHEMERAL
+// handlers the deadline passed to Ephemeral governs; this option is for
+// Async handlers, which the paper otherwise leaves unbounded.
+func WithDeadline(deadline time.Duration) InstallOption {
+	return func(c *installCfg) error { c.deadline = deadline; return nil }
+}
+
 // checkHandlerImpl validates that a handler has an implementation and a
 // descriptor.
 func checkHandlerImpl(h Handler) error {
-	if h.Fn == nil && h.Inline == nil {
+	if h.Fn == nil && h.CtxFn == nil && h.Inline == nil {
 		return ErrNilHandler
 	}
 	if h.Proc == nil {
@@ -172,20 +181,26 @@ func (e *Event) Install(h Handler, opts ...InstallOption) (*Binding, error) {
 	}
 
 	b := &Binding{
-		event:             e,
-		handler:           h,
-		closure:           cfg.closure,
-		guards:            cfg.guards,
-		order:             cfg.order,
-		async:             cfg.async,
-		ephemeral:         cfg.ephemeral,
-		ephemeralDeadline: cfg.deadline,
-		filter:            cfg.filter,
-		credential:        cfg.credential,
+		event:      e,
+		handler:    h,
+		closure:    cfg.closure,
+		guards:     cfg.guards,
+		order:      cfg.order,
+		async:      cfg.async,
+		ephemeral:  cfg.ephemeral,
+		deadline:   cfg.deadline,
+		filter:     cfg.filter,
+		credential: cfg.credential,
 	}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// A module under fault quarantine may not install new handlers until
+	// it is re-admitted (see faultctl.go).
+	if e.d.faults.moduleQuarantined(b.Installer()) {
+		e.traceRejectLocked(trace.RejectFault, b)
+		return nil, fmt.Errorf("%w: %s", ErrModuleQuarantined, b.Installer().Name())
+	}
 	// Resource accounting (§2.6 "Too many handlers"): the installation
 	// is charged to the installing module before the authorizer sees it.
 	if err := e.d.quota.charge(b.Installer()); err != nil {
@@ -272,6 +287,9 @@ func (e *Event) Uninstall(b *Binding) error {
 	if !b.intrinsic {
 		e.d.quota.release(b.Installer())
 	}
+	// Drop the binding's fault-ledger entry: a pending readmission timer
+	// finds the entry gone and does nothing.
+	e.d.faults.ledger.Forget(b)
 	e.recompile(true)
 	return nil
 }
@@ -315,7 +333,7 @@ func (e *Event) SetOrder(b *Binding, o Order) error {
 func (e *Event) SetDefaultHandler(h Handler) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if h.Fn == nil && h.Inline == nil {
+	if h.Fn == nil && h.CtxFn == nil && h.Inline == nil {
 		if err := e.authorizeLocked(OpSetDefault, nil); err != nil {
 			return err
 		}

@@ -1,0 +1,252 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLedgerRecordOnlyByDefault(t *testing.T) {
+	l := NewLedger(Policy{}) // zero value: record-only
+	key := new(int)
+	for i := 0; i < 10; i++ {
+		act := l.Observe(key, nil, Record{Kind: KindPanic, Handler: "H"})
+		if act.Quarantine || act.Module {
+			t.Fatalf("record-only ledger produced an action: %+v", act)
+		}
+	}
+	if l.State(key) != Healthy {
+		t.Fatalf("state = %v, want Healthy", l.State(key))
+	}
+	if l.Total() != 10 {
+		t.Fatalf("total = %d, want 10", l.Total())
+	}
+}
+
+func TestLedgerQuarantineProbationRelapse(t *testing.T) {
+	p := Policy{Budget: 3, ProbationBudget: 1, Backoff: 10 * time.Millisecond}
+	l := NewLedger(p)
+	key := new(int)
+
+	r := Record{Kind: KindPanic, Handler: "H"}
+	if act := l.Observe(key, nil, r); act.Quarantine {
+		t.Fatal("quarantined on first fault with budget 3")
+	}
+	if act := l.Observe(key, nil, r); act.Quarantine {
+		t.Fatal("quarantined on second fault with budget 3")
+	}
+	act := l.Observe(key, nil, r)
+	if !act.Quarantine || act.Level != 0 || act.Backoff != 10*time.Millisecond {
+		t.Fatalf("third fault: act = %+v, want level-0 quarantine with 10ms backoff", act)
+	}
+	if l.State(key) != Quarantined {
+		t.Fatalf("state = %v, want Quarantined", l.State(key))
+	}
+
+	// Faults while quarantined (stragglers) never re-trigger.
+	if act := l.Observe(key, nil, r); act.Quarantine {
+		t.Fatal("straggler fault re-quarantined")
+	}
+
+	if !l.Readmit(key) {
+		t.Fatal("Readmit failed on quarantined key")
+	}
+	if l.State(key) != Probation {
+		t.Fatalf("state = %v, want Probation", l.State(key))
+	}
+
+	// Relapse: one fault on probation re-quarantines with doubled backoff.
+	act = l.Observe(key, nil, r)
+	if !act.Quarantine || act.Level != 1 || act.Backoff != 20*time.Millisecond {
+		t.Fatalf("relapse: act = %+v, want level-1 quarantine with 20ms backoff", act)
+	}
+
+	// Clean probation restores full health and resets the generation.
+	l.Readmit(key)
+	if !l.Restore(key) {
+		t.Fatal("Restore failed on probation key")
+	}
+	if l.State(key) != Healthy || l.Level(key) != 0 {
+		t.Fatalf("state = %v level = %d, want Healthy/0", l.State(key), l.Level(key))
+	}
+}
+
+func TestLedgerBackoffCapped(t *testing.T) {
+	p := Policy{Budget: 1, Backoff: 10 * time.Millisecond, MaxBackoff: 35 * time.Millisecond}
+	l := NewLedger(p)
+	key := new(int)
+	r := Record{Kind: KindPanic}
+
+	act := l.Observe(key, nil, r)
+	if act.Backoff != 10*time.Millisecond {
+		t.Fatalf("level 0 backoff = %v", act.Backoff)
+	}
+	l.Readmit(key)
+	act = l.Observe(key, nil, r)
+	if act.Backoff != 20*time.Millisecond {
+		t.Fatalf("level 1 backoff = %v", act.Backoff)
+	}
+	l.Readmit(key)
+	act = l.Observe(key, nil, r)
+	if act.Backoff != 35*time.Millisecond {
+		t.Fatalf("level 2 backoff = %v, want capped 35ms", act.Backoff)
+	}
+}
+
+func TestLedgerModuleBudget(t *testing.T) {
+	p := Policy{Budget: 100, ModuleBudget: 3}
+	l := NewLedger(p)
+	mod := new(int)
+	k1, k2 := new(int), new(int)
+	r := Record{Kind: KindPanic}
+
+	l.Observe(k1, mod, r)
+	l.Observe(k2, mod, r)
+	act := l.Observe(k1, mod, r)
+	if !act.Module {
+		t.Fatalf("third module fault: act = %+v, want Module", act)
+	}
+	if l.State(mod) != Quarantined {
+		t.Fatalf("module state = %v, want Quarantined", l.State(mod))
+	}
+	// Neither binding was individually quarantined (budget 100).
+	if l.State(k1) != Healthy || l.State(k2) != Healthy {
+		t.Fatal("individual bindings quarantined by module budget")
+	}
+}
+
+func TestLedgerForget(t *testing.T) {
+	l := NewLedger(Policy{Budget: 1})
+	key := new(int)
+	l.Observe(key, nil, Record{Kind: KindPanic})
+	if l.State(key) != Quarantined {
+		t.Fatal("not quarantined")
+	}
+	l.Forget(key)
+	if l.State(key) != Healthy {
+		t.Fatal("Forget did not clear state")
+	}
+	if l.Readmit(key) {
+		t.Fatal("Readmit succeeded on forgotten key")
+	}
+}
+
+func TestLedgerRingRetention(t *testing.T) {
+	l := NewLedger(Policy{History: 4})
+	for i := 0; i < 7; i++ {
+		l.Note(Record{Kind: KindCompare, Handler: "H"})
+	}
+	recs := l.Records()
+	if len(recs) != 4 {
+		t.Fatalf("retained %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if want := uint64(4 + i); r.Seq != want {
+			t.Fatalf("record %d seq = %d, want %d (oldest-first)", i, r.Seq, want)
+		}
+	}
+	if l.Total() != 7 {
+		t.Fatalf("total = %d, want 7", l.Total())
+	}
+}
+
+func TestLedgerOnFault(t *testing.T) {
+	var mu sync.Mutex
+	var seen []Record
+	l := NewLedger(Policy{OnFault: func(r Record) {
+		mu.Lock()
+		seen = append(seen, r)
+		mu.Unlock()
+	}})
+	l.Observe(new(int), nil, Record{Kind: KindPanic})
+	l.Note(Record{Kind: KindCompare})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 || seen[0].Kind != KindPanic || seen[1].Kind != KindCompare {
+		t.Fatalf("OnFault saw %v", seen)
+	}
+}
+
+func TestInjectorDeterministicPanics(t *testing.T) {
+	in := NewInjector().PanicEvery("H", 3, 0)
+	calls, panics := 0, 0
+	h := in.Handler("H", func(any, []any) any { calls++; return nil })
+	for i := 1; i <= 9; i++ {
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					ip, ok := v.(InjectedPanic)
+					if !ok || ip.Target != "H" {
+						t.Fatalf("unexpected panic value %v", v)
+					}
+					panics++
+				}
+			}()
+			h(nil, nil)
+		}()
+	}
+	if panics != 3 || calls != 6 {
+		t.Fatalf("panics = %d calls = %d, want 3/6", panics, calls)
+	}
+	if in.Count("H") != 9 {
+		t.Fatalf("count = %d, want 9", in.Count("H"))
+	}
+}
+
+func TestInjectorOffsetAndBadResult(t *testing.T) {
+	in := NewInjector().
+		PanicEvery("A", 4, 1).
+		BadResultEvery("B", 2, 0, "wrong")
+
+	a := in.Handler("A", func(any, []any) any { return "ok" })
+	gotPanic := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		a(nil, nil)
+		return false
+	}
+	// Offset 1: invocations 1, 5, 9 ... panic.
+	want := []bool{true, false, false, false, true}
+	for i, w := range want {
+		if gotPanic() != w {
+			t.Fatalf("invocation %d: panic = %v, want %v", i+1, !w, w)
+		}
+	}
+
+	b := in.Handler("B", func(any, []any) any { return "real" })
+	if r := b(nil, nil); r != "real" {
+		t.Fatalf("invocation 1: %v", r)
+	}
+	if r := b(nil, nil); r != "wrong" {
+		t.Fatalf("invocation 2: %v, want injected bad result", r)
+	}
+}
+
+func TestInjectorGuardWrap(t *testing.T) {
+	in := NewInjector().BadResultEvery("G", 2, 0, true)
+	g := in.Guard("G", func(any, []any) bool { return false })
+	if g(nil, nil) {
+		t.Fatal("invocation 1 should pass through (false)")
+	}
+	if !g(nil, nil) {
+		t.Fatal("invocation 2 should be forced true")
+	}
+}
+
+func TestInjectorConcurrentTicks(t *testing.T) {
+	in := NewInjector().PanicEvery("H", 1000000, 0) // effectively never
+	h := in.Handler("H", func(any, []any) any { return nil })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h(nil, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Count("H") != 8000 {
+		t.Fatalf("count = %d, want 8000", in.Count("H"))
+	}
+}

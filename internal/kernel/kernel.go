@@ -13,6 +13,7 @@ package kernel
 import (
 	"spin/internal/codegen"
 	"spin/internal/dispatch"
+	"spin/internal/fault"
 	"spin/internal/linker"
 	"spin/internal/rtti"
 	"spin/internal/sched"
@@ -46,6 +47,12 @@ type Config struct {
 	// event defined on the machine's dispatcher records sampled raises
 	// into the tracer's span ring (see internal/trace).
 	Trace *trace.Tracer
+	// FaultPolicy, when non-nil, enables fault enforcement machine-wide:
+	// handler panics and deadline overruns are charged against the
+	// policy's budgets and offending bindings are quarantined out of
+	// their events' dispatch plans (see internal/fault). Nil leaves the
+	// dispatcher in record-only mode.
+	FaultPolicy *fault.Policy
 	// ShareWith, when non-nil, makes this machine share the given
 	// machine's virtual clock and simulator — required for multi-machine
 	// experiments (the Table 2 UDP roundtrip runs two machines on one
@@ -99,6 +106,9 @@ func Boot(cfg Config) (*Machine, error) {
 	if cfg.Trace != nil {
 		dopts = append(dopts, dispatch.WithTracer(cfg.Trace))
 	}
+	if cfg.FaultPolicy != nil {
+		dopts = append(dopts, dispatch.WithFaultPolicy(*cfg.FaultPolicy))
+	}
 	m.Dispatcher = dispatch.New(dopts...)
 	m.Nexus = linker.NewNexus()
 
@@ -145,6 +155,36 @@ func Boot(cfg Config) (*Machine, error) {
 // exported interfaces, then the image initializer's handler registrations.
 func (m *Machine) LoadExtension(img *linker.Image) (*linker.Domain, error) {
 	return m.Nexus.Load(img)
+}
+
+// QuarantineDomain fault-quarantines a loaded extension domain: the linker
+// denies new linkage against its interfaces, the dispatcher denies its
+// module new handler installations, and every binding it installed is
+// compiled out of its event's dispatch plan. Returns the number of
+// bindings quarantined.
+func (m *Machine) QuarantineDomain(name string) (int, error) {
+	dom, err := m.Nexus.Domain(name)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := m.Nexus.Quarantine(name); err != nil {
+		return 0, err
+	}
+	return m.Dispatcher.QuarantineModule(dom.Module()), nil
+}
+
+// ReadmitDomain lifts a domain quarantine: linkage and installation rights
+// return and the domain's bindings are compiled back into their events'
+// plans. Returns the number of bindings readmitted.
+func (m *Machine) ReadmitDomain(name string) (int, error) {
+	dom, err := m.Nexus.Domain(name)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := m.Nexus.Readmit(name); err != nil {
+		return 0, err
+	}
+	return m.Dispatcher.ReadmitModule(dom.Module()), nil
 }
 
 // Run drives the machine's simulator until quiescence (metered machines

@@ -34,6 +34,7 @@ var (
 	ErrNoSuchSymbol  = errors.New("linker: no such symbol")
 	ErrInitFailed    = errors.New("linker: extension initialization failed")
 	ErrDomainUnknown = errors.New("linker: unknown domain")
+	ErrQuarantined   = errors.New("linker: domain is quarantined")
 )
 
 // Interface is a named collection of symbols exported by a module — the
@@ -86,6 +87,11 @@ type Domain struct {
 	module     *rtti.Module
 	exports    map[string]*Interface
 	authorizer LinkAuthorizerFn
+	// quarantined marks the domain fault-quarantined: its exports stay
+	// registered (so readmission is a flag flip, with no dangling or
+	// re-registration races) but resolve to ErrQuarantined until the
+	// domain is readmitted. Guarded by the Nexus mutex.
+	quarantined bool
 }
 
 // Name returns the domain's name.
@@ -202,6 +208,13 @@ func (n *Nexus) Load(img *Image) (*Domain, error) {
 			n.mu.Unlock()
 			return nil, fmt.Errorf("%w: %s (wanted by %s)", ErrUnresolved, want, img.Name)
 		}
+		if exporter.quarantined {
+			// A quarantined domain's interfaces are unavailable for new
+			// linkage; existing importers are handled by the dispatcher's
+			// binding quarantine, not the linker.
+			n.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s exports %s", ErrQuarantined, exporter.name, want)
+		}
 		iface := exporter.exports[want]
 		if exporter.authorizer != nil && !exporter.authorizer(img.Module, iface) {
 			n.mu.Unlock()
@@ -243,4 +256,43 @@ func (n *Nexus) unload(dom *Domain) {
 		delete(n.ifaces, name)
 	}
 	delete(n.domains, dom.name)
+}
+
+// Quarantine marks a domain fault-quarantined: new linkage against any of
+// its exported interfaces is denied with ErrQuarantined until Readmit. The
+// domain itself, its registrations, and already-linked importers are left
+// intact, so readmission cannot dangle. Reports whether the domain was
+// previously healthy.
+func (n *Nexus) Quarantine(name string) (bool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	dom, ok := n.domains[name]
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrDomainUnknown, name)
+	}
+	was := dom.quarantined
+	dom.quarantined = true
+	return !was, nil
+}
+
+// Readmit lifts a domain quarantine. Reports whether the domain was
+// quarantined.
+func (n *Nexus) Readmit(name string) (bool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	dom, ok := n.domains[name]
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrDomainUnknown, name)
+	}
+	was := dom.quarantined
+	dom.quarantined = false
+	return was, nil
+}
+
+// Quarantined reports whether the named domain is currently quarantined.
+func (n *Nexus) Quarantined(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	dom, ok := n.domains[name]
+	return ok && dom.quarantined
 }

@@ -213,3 +213,82 @@ func TestLoadRequiresModule(t *testing.T) {
 		t.Fatal("image without module accepted")
 	}
 }
+
+func TestQuarantineDeniesLinkage(t *testing.T) {
+	n := NewNexus()
+	if _, err := n.Load(kernelImage()); err != nil {
+		t.Fatal(err)
+	}
+	if fresh, err := n.Quarantine("kernel"); err != nil || !fresh {
+		t.Fatalf("quarantine: fresh=%v err=%v", fresh, err)
+	}
+	if !n.Quarantined("kernel") {
+		t.Fatal("domain not reported quarantined")
+	}
+	_, err := n.Load(&Image{Name: "ext", Module: extMod, Imports: []string{"MachineTrap"}})
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("link against quarantined domain: err = %v", err)
+	}
+	if was, err := n.Readmit("kernel"); err != nil || !was {
+		t.Fatalf("readmit: was=%v err=%v", was, err)
+	}
+	if _, err := n.Load(&Image{Name: "ext", Module: extMod, Imports: []string{"MachineTrap"}}); err != nil {
+		t.Fatalf("link after readmission failed: %v", err)
+	}
+	if _, err := n.Quarantine("ghost"); !errors.Is(err, ErrDomainUnknown) {
+		t.Fatalf("quarantine unknown domain: err = %v", err)
+	}
+}
+
+// TestAuthorizerDenialAfterQuarantineLeavesNoDanglingState: the satellite
+// scenario — a re-link attempt that is denied by the exporter's authorizer
+// while (and after) a domain quarantine must roll back completely: no
+// partial domain, and the quarantined exporter's registrations intact so
+// readmission restores exactly the pre-quarantine linkage state.
+func TestAuthorizerDenialAfterQuarantineLeavesNoDanglingState(t *testing.T) {
+	n := NewNexus()
+	dom, err := n.Load(kernelImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dom.SetAuthorizer(func(req *rtti.Module, _ *Interface) bool {
+		return req != evilMod
+	}, kernelMod); err != nil {
+		t.Fatal(err)
+	}
+
+	// Quarantine the exporter, then attempt a re-link from a denied
+	// module: the quarantine check fires first, and nothing registers.
+	if _, err := n.Quarantine("kernel"); err != nil {
+		t.Fatal(err)
+	}
+	evil := &Image{Name: "evil", Module: evilMod, Imports: []string{"MachineTrap"},
+		Exports: []*Interface{NewInterface("EvilIface", evilMod)}}
+	if _, err := n.Load(evil); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("err = %v, want ErrQuarantined", err)
+	}
+	if len(n.Domains()) != 1 {
+		t.Fatalf("denied load left domains: %v", n.Domains())
+	}
+
+	// Readmit and retry: the authorizer now denies it. Again nothing may
+	// dangle — the evil image's exports must not be registered.
+	if _, err := n.Readmit("kernel"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Load(evil); !errors.Is(err, ErrLinkDenied) {
+		t.Fatalf("err = %v, want ErrLinkDenied", err)
+	}
+	if len(n.Domains()) != 1 {
+		t.Fatalf("denied load left domains: %v", n.Domains())
+	}
+	// The interface name the denied image tried to export is free.
+	if _, err := n.Load(&Image{Name: "good", Module: extMod,
+		Exports: []*Interface{NewInterface("EvilIface", extMod)}}); err != nil {
+		t.Fatalf("interface name dangled after denial: %v", err)
+	}
+	// And the exporter's own linkage is fully restored post-readmission.
+	if _, err := n.Load(&Image{Name: "client", Module: extMod, Imports: []string{"MachineTrap"}}); err != nil {
+		t.Fatalf("readmitted exporter not linkable: %v", err)
+	}
+}

@@ -58,6 +58,15 @@ func spanName(sp Span) string {
 		return sp.Event + " done"
 	case KindReject:
 		return fmt.Sprintf("%s rejected [%s]", sp.Name, RejectReason(sp.Detail))
+	case KindFault:
+		return fmt.Sprintf("%s faulted", sp.Name)
+	case KindQuarantine:
+		return fmt.Sprintf("%s quarantined [gen %d]", sp.Name, sp.Detail)
+	case KindProbation:
+		if sp.Pass {
+			return fmt.Sprintf("%s restored", sp.Name)
+		}
+		return fmt.Sprintf("%s on probation", sp.Name)
 	}
 	return sp.Kind.String()
 }
@@ -101,6 +110,15 @@ func exportChrome(w io.Writer, spans []Span) error {
 			ev.Args["default"] = sp.UsedDefault
 		case KindReject:
 			ev.Args["reason"] = RejectReason(sp.Detail).String()
+			ev.Args["event"] = sp.Event
+		case KindFault:
+			ev.Args["class"] = sp.Detail
+			ev.Args["event"] = sp.Event
+		case KindQuarantine:
+			ev.Args["generation"] = sp.Detail
+			ev.Args["event"] = sp.Event
+		case KindProbation:
+			ev.Args["restored"] = sp.Pass
 			ev.Args["event"] = sp.Event
 		}
 		file.TraceEvents = append(file.TraceEvents, ev)

@@ -47,6 +47,15 @@ const (
 	KindRaiseEnd
 	// KindReject is a control-plane rejection (quota or authorizer).
 	KindReject
+	// KindFault is a captured handler/guard fault (panic, deadline
+	// overrun, virtual-time overrun); Detail carries the fault class.
+	KindFault
+	// KindQuarantine marks a binding (or module) compiled out of its
+	// event's dispatch plan; Detail carries the quarantine generation.
+	KindQuarantine
+	// KindProbation marks a quarantined binding re-admitted under a
+	// tightened budget, or restored to full health (Pass set).
+	KindProbation
 )
 
 func (k Kind) String() string {
@@ -63,6 +72,12 @@ func (k Kind) String() string {
 		return "raise-end"
 	case KindReject:
 		return "reject"
+	case KindFault:
+		return "fault"
+	case KindQuarantine:
+		return "quarantine"
+	case KindProbation:
+		return "probation"
 	}
 	return "kind(?)"
 }
@@ -111,6 +126,9 @@ const (
 	RejectQuota RejectReason = iota
 	// RejectAuth is an authorizer denial (§2.5).
 	RejectAuth
+	// RejectFault is an installation denied because the installing module
+	// is quarantined by the fault controller.
+	RejectFault
 )
 
 func (r RejectReason) String() string {
@@ -119,6 +137,8 @@ func (r RejectReason) String() string {
 		return "quota"
 	case RejectAuth:
 		return "auth"
+	case RejectFault:
+		return "fault"
 	}
 	return "reject(?)"
 }
@@ -352,6 +372,32 @@ func (t *Tracer) Reject(event string, reason RejectReason, module string) {
 	t.emit(0, pack(p.id, 0, 0, KindReject, ModeSync, 0), t.now(), 0, uint64(reason))
 }
 
+// Fault records a control-plane fault span: a handler or guard misbehaved
+// (panicked, overran a deadline or a virtual-time budget). detail is the
+// fault subsystem's kind code, recorded opaquely.
+func (t *Tracer) Fault(event, handler string, detail uint64) {
+	p := t.Program(EventMeta{Event: event, Steps: []StepMeta{{Name: handler}}})
+	t.emit(0, pack(p.id, 0, 0, KindFault, ModeSync, 0), t.now(), 0, detail)
+}
+
+// Quarantine records a binding (or whole module) being compiled out of the
+// dispatch plan; level is the quarantine generation driving the backoff.
+func (t *Tracer) Quarantine(event, handler string, level int) {
+	p := t.Program(EventMeta{Event: event, Steps: []StepMeta{{Name: handler}}})
+	t.emit(0, pack(p.id, 0, 0, KindQuarantine, ModeSync, 0), t.now(), 0, uint64(level))
+}
+
+// Probation records a quarantined binding's re-admission under a tightened
+// budget; restored marks the later return to full health.
+func (t *Tracer) Probation(event, handler string, restored bool) {
+	p := t.Program(EventMeta{Event: event, Steps: []StepMeta{{Name: handler}}})
+	var flags uint64
+	if restored {
+		flags |= flagPass
+	}
+	t.emit(0, pack(p.id, 0, 0, KindProbation, ModeSync, flags), t.now(), 0, 0)
+}
+
 // Snapshot decodes the ring's currently published spans in recording
 // order. Slots being concurrently rewritten are skipped, not torn.
 func (t *Tracer) Snapshot() []Span {
@@ -395,7 +441,7 @@ func (t *Tracer) Snapshot() []Span {
 			} else if mode == ModeDefault {
 				sp.Name = meta.Default
 			}
-		case KindReject:
+		case KindReject, KindFault, KindQuarantine, KindProbation:
 			if len(meta.Steps) > 0 {
 				sp.Name = meta.Steps[0].Name
 			}

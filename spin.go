@@ -30,6 +30,7 @@ package spin
 import (
 	"spin/internal/codegen"
 	"spin/internal/dispatch"
+	"spin/internal/fault"
 	"spin/internal/kernel"
 	"spin/internal/linker"
 	"spin/internal/rtti"
@@ -59,10 +60,46 @@ type (
 	HandlerFn = dispatch.HandlerFn
 	// GuardFn is the untyped guard calling convention.
 	GuardFn = dispatch.GuardFn
+	// CtxHandlerFn is the cancellation-aware handler calling convention;
+	// the context is cancelled when a deadline watchdog abandons the
+	// invocation.
+	CtxHandlerFn = dispatch.CtxHandlerFn
 	// ResultFn folds multiple handler results.
 	ResultFn = dispatch.ResultFn
 	// Stats is an event's dispatch statistics snapshot.
 	Stats = dispatch.Stats
+)
+
+// Fault isolation (see internal/fault and DESIGN.md decision 12): handler
+// panics, deadline overruns, and virtual-time budget overruns are recorded
+// per binding; under an enforcing FaultPolicy, bindings that exhaust their
+// budget are quarantined — compiled out of their event's dispatch plan —
+// then re-admitted on probation after exponential backoff.
+type (
+	// FaultPolicy sets fault budgets, deadlines, and backoff.
+	FaultPolicy = fault.Policy
+	// FaultRecord is one recorded fault.
+	FaultRecord = fault.Record
+	// FaultLedger accumulates fault records and budget state.
+	FaultLedger = fault.Ledger
+	// FaultState is a binding's lifecycle state (Healthy, Quarantined,
+	// Probation).
+	FaultState = fault.State
+	// FaultInjector deterministically injects panics, delays, and bad
+	// results into handlers and guards, for fault-drill testing.
+	FaultInjector = fault.Injector
+)
+
+var (
+	// WithFaultPolicy enables fault enforcement on a dispatcher.
+	WithFaultPolicy = dispatch.WithFaultPolicy
+	// DefaultFaultPolicy is a sensible enforcing policy (budget 3,
+	// exponential backoff from 100ms).
+	DefaultFaultPolicy = fault.DefaultPolicy
+	// NewFaultInjector creates an empty fault-injection harness.
+	NewFaultInjector = fault.NewInjector
+	// WithDeadline attaches a watchdog deadline to an async handler.
+	WithDeadline = dispatch.WithDeadline
 )
 
 // Runtime type information (paper §2.4-2.5).
@@ -194,12 +231,14 @@ var (
 
 // Errors, re-exported so callers can errors.Is against them.
 var (
-	ErrNoHandler       = dispatch.ErrNoHandler
-	ErrAmbiguousResult = dispatch.ErrAmbiguousResult
-	ErrNotAuthority    = dispatch.ErrNotAuthority
-	ErrDenied          = dispatch.ErrDenied
-	ErrAsyncByRef      = dispatch.ErrAsyncByRef
-	ErrLinkDenied      = linker.ErrLinkDenied
+	ErrNoHandler         = dispatch.ErrNoHandler
+	ErrAmbiguousResult   = dispatch.ErrAmbiguousResult
+	ErrNotAuthority      = dispatch.ErrNotAuthority
+	ErrDenied            = dispatch.ErrDenied
+	ErrAsyncByRef        = dispatch.ErrAsyncByRef
+	ErrLinkDenied        = linker.ErrLinkDenied
+	ErrModuleQuarantined = dispatch.ErrModuleQuarantined
+	ErrDomainQuarantined = linker.ErrQuarantined
 )
 
 // rtti type singletons for building explicit signatures.

@@ -1,6 +1,8 @@
 package spin
 
 import (
+	"context"
+
 	"spin/internal/dispatch"
 	"spin/internal/rtti"
 )
@@ -78,6 +80,15 @@ func (e *Event0) Install(name string, m *Module, fn func(), opts ...dispatch.Ins
 
 // ---- Event1 ----
 
+// InstallCtx registers a typed cancellation-aware handler: the context is
+// cancelled when a deadline watchdog (Ephemeral or Async+WithDeadline
+// under a fault policy) abandons the invocation.
+func (e *Event0) InstallCtx(name string, m *Module, fn func(context.Context), opts ...dispatch.InstallOption) (*Binding, error) {
+	h := Handler{Proc: handlerProc(name, m, e.ev.Signature()),
+		CtxFn: func(ctx context.Context, clo any, args []any) any { fn(ctx); return nil }}
+	return e.ev.Install(h, opts...)
+}
+
 // Event1 is a typed event with one parameter.
 type Event1[A1 any] struct{ ev *dispatch.Event }
 
@@ -112,6 +123,16 @@ func (e *Event1[A1]) RaiseAsync(a1 A1) error {
 func (e *Event1[A1]) Install(name string, m *Module, fn func(A1), opts ...dispatch.InstallOption) (*Binding, error) {
 	h := Handler{Proc: handlerProc(name, m, e.ev.Signature()),
 		Fn: func(clo any, args []any) any { fn(asT[A1](args[0])); return nil }}
+	return e.ev.Install(h, opts...)
+}
+
+// InstallCtx registers a typed cancellation-aware handler.
+func (e *Event1[A1]) InstallCtx(name string, m *Module, fn func(context.Context, A1), opts ...dispatch.InstallOption) (*Binding, error) {
+	h := Handler{Proc: handlerProc(name, m, e.ev.Signature()),
+		CtxFn: func(ctx context.Context, clo any, args []any) any {
+			fn(ctx, asT[A1](args[0]))
+			return nil
+		}}
 	return e.ev.Install(h, opts...)
 }
 
@@ -160,6 +181,16 @@ func (e *Event2[A1, A2]) Install(name string, m *Module, fn func(A1, A2), opts .
 	h := Handler{Proc: handlerProc(name, m, e.ev.Signature()),
 		Fn: func(clo any, args []any) any {
 			fn(asT[A1](args[0]), asT[A2](args[1]))
+			return nil
+		}}
+	return e.ev.Install(h, opts...)
+}
+
+// InstallCtx registers a typed cancellation-aware handler.
+func (e *Event2[A1, A2]) InstallCtx(name string, m *Module, fn func(context.Context, A1, A2), opts ...dispatch.InstallOption) (*Binding, error) {
+	h := Handler{Proc: handlerProc(name, m, e.ev.Signature()),
+		CtxFn: func(ctx context.Context, clo any, args []any) any {
+			fn(ctx, asT[A1](args[0]), asT[A2](args[1]))
 			return nil
 		}}
 	return e.ev.Install(h, opts...)
