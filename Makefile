@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke faultcheck bench tables json
+.PHONY: check vet build test race fuzz-smoke faultcheck overloadcheck bench tables json
 
 check: vet build test race
 
@@ -32,6 +32,13 @@ fuzz-smoke:
 # against handler completion, and the ledger races against everything.
 faultcheck:
 	$(GO) test -race -count=2 -run 'Fault|Quarantine|Probation|Deadline|Inject|Ledger' ./internal/... .
+
+# The overload-control suite under the race detector: the soak hammers an
+# async event at ~10x drain capacity under every admission policy, retry
+# backoff races the queue ledger, and degradation recompiles race against
+# concurrent raises.
+overloadcheck:
+	$(GO) test -race -count=2 -run 'Overload|Shed|Admission|Admit|Degrad|Retry|Coalesce|Pool|Queue|Backoff|Timeout|Shutdown|Drain' ./internal/... .
 
 # Native (wall-clock) microbenchmarks, including the zero-allocation
 # parallel raise path.

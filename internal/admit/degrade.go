@@ -1,0 +1,120 @@
+package admit
+
+// Level is one rung of the degradation ladder. A level is entered when
+// either threshold (the ones set above zero) is crossed; bindings whose
+// priority class is MinPriority or higher are disabled while the level is
+// active.
+type Level struct {
+	// Name labels the level in trace spans and stats.
+	Name string
+	// QueueDepth enters the level when the aggregate pending depth across
+	// all admission queues reaches it (0 disables the trigger).
+	QueueDepth int
+	// ShedRate enters the level when the shed fraction over the
+	// observation window reaches it (0 disables the trigger).
+	ShedRate float64
+	// MinPriority is the lowest priority class disabled at this level.
+	// Priority 0 is essential and never disabled; higher numbers are more
+	// optional.
+	MinPriority int
+}
+
+// Degrader is the load-level state machine: a pure, deterministic
+// controller that maps load observations (aggregate queue depth, shed rate
+// over the last window) to a current level. Escalation is immediate —
+// possibly several rungs at once; de-escalation steps down one rung after
+// hold consecutive calm observations, so a flapping load does not toggle
+// bindings on and off.
+//
+// The Degrader holds no locks and spawns nothing; the caller serializes
+// Observe and applies level transitions (disabling bindings by priority,
+// emitting trace spans). That makes the controller directly testable
+// without goroutines or timers.
+type Degrader struct {
+	levels []Level
+	hold   int
+	cur    int
+	calm   int
+}
+
+// NewDegrader builds a controller over the given ladder, ordered mild to
+// severe. hold is the number of consecutive calm observations before
+// stepping down one level; values below 1 select 1.
+func NewDegrader(levels []Level, hold int) *Degrader {
+	if hold < 1 {
+		hold = 1
+	}
+	return &Degrader{levels: append([]Level(nil), levels...), hold: hold}
+}
+
+// Levels returns the ladder.
+func (g *Degrader) Levels() []Level { return append([]Level(nil), g.levels...) }
+
+// Level returns the current level: 0 for normal operation, i for
+// Levels()[i-1] active.
+func (g *Degrader) Level() int { return g.cur }
+
+// LevelName names a level index ("normal" for 0).
+func (g *Degrader) LevelName(level int) string {
+	if level <= 0 || level > len(g.levels) {
+		return "normal"
+	}
+	if n := g.levels[level-1].Name; n != "" {
+		return n
+	}
+	return "level-" + itoa(level)
+}
+
+// MinPriority returns the lowest disabled priority class at the current
+// level, or 0 when nothing is disabled.
+func (g *Degrader) MinPriority() int {
+	if g.cur == 0 {
+		return 0
+	}
+	return g.levels[g.cur-1].MinPriority
+}
+
+// Observe feeds one load sample and returns the level transition it
+// caused, if any.
+func (g *Degrader) Observe(depth int, shedRate float64) (from, to int, changed bool) {
+	target := 0
+	for i, l := range g.levels {
+		if (l.QueueDepth > 0 && depth >= l.QueueDepth) ||
+			(l.ShedRate > 0 && shedRate >= l.ShedRate) {
+			target = i + 1
+		}
+	}
+	switch {
+	case target > g.cur:
+		from, to = g.cur, target
+		g.cur = target
+		g.calm = 0
+		return from, to, true
+	case target < g.cur:
+		g.calm++
+		if g.calm >= g.hold {
+			from, to = g.cur, g.cur-1
+			g.cur--
+			g.calm = 0
+			return from, to, true
+		}
+	default:
+		g.calm = 0
+	}
+	return g.cur, g.cur, false
+}
+
+// itoa avoids importing strconv for one diagnostic label.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

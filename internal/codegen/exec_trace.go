@@ -92,7 +92,9 @@ func (p *Plan) executeTraced(env *Env, args []any, raise uint64) Outcome {
 			s := stamp()
 			p.chargeHandler(cpu, st)
 			inv := p.invoker(st, args)
-			if env.SpawnHandler != nil {
+			if p.admitQ != nil && env.SubmitHandler != nil {
+				env.SubmitHandler(p.admitQ, b.Tag, p.info.Arity, inv)
+			} else if env.SpawnHandler != nil {
 				env.SpawnHandler(b.Tag, p.info.Arity, inv)
 			} else {
 				env.Spawn(p.info.Arity, func() { _ = inv(context.Background()) })

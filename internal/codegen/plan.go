@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"spin/internal/admit"
 	"spin/internal/trace"
 	"spin/internal/vtime"
 )
@@ -146,6 +147,15 @@ type Options struct {
 	// without Protect carry no recovery code at all — the same
 	// zero-cost-off contract tracing has (DESIGN.md decision 12).
 	Protect FaultHook
+	// Admit, when non-nil, compiles the event's admission queue into the
+	// plan: asynchronous handler invocations are submitted to the bounded
+	// queue (via Env.SubmitHandler) instead of spawned directly, and
+	// asynchronous raises of the event pass through the same queue. A nil
+	// Admit compiles the unqueued spawn path, so an event without an
+	// admission policy pays one nil check per async step and nothing else
+	// — the same zero-cost-off contract tracing and fault capture have
+	// (DESIGN.md decision 13).
+	Admit *admit.Queue
 }
 
 // step is one unrolled dispatch step.
@@ -189,6 +199,9 @@ type Plan struct {
 	// protect is the fault hook compiled into the plan (Options.Protect);
 	// nil plans execute with no recovery barriers at all.
 	protect FaultHook
+	// admitQ is the admission queue compiled into the plan
+	// (Options.Admit); nil plans spawn asynchronous work unqueued.
+	admitQ *admit.Queue
 }
 
 // Env supplies the execution hooks the generated routine needs from the
@@ -206,6 +219,11 @@ type Env struct {
 	// invocation (panic capture, wall-clock watchdog, cooperative
 	// cancellation through the context).
 	SpawnHandler func(tag any, arity int, invoke func(context.Context) any)
+	// SubmitHandler, when non-nil, supersedes SpawnHandler for plans
+	// compiled with an admission queue: the supervised invocation is
+	// submitted to the bounded queue (and may be shed) instead of
+	// spawned unconditionally.
+	SubmitHandler func(q *admit.Queue, tag any, arity int, invoke func(context.Context) any)
 	// RunEphemeral runs invoke under termination supervision, returning
 	// its result and whether it ran to completion; the context is
 	// cancelled if the watchdog abandons the invocation. Required if any
@@ -235,7 +253,8 @@ type Outcome struct {
 // Compile generates the dispatch routine for the given binding list. The
 // returned plan is immutable; the dispatcher swaps it in atomically.
 func Compile(info EventInfo, bindings []*Binding, resultFn ResultFn, defaultB *Binding, opts Options) *Plan {
-	p := &Plan{info: info, opts: opts, resultFn: resultFn, defaultB: defaultB, protect: opts.Protect}
+	p := &Plan{info: info, opts: opts, resultFn: resultFn, defaultB: defaultB,
+		protect: opts.Protect, admitQ: opts.Admit}
 	for _, b := range bindings {
 		st, live := compileBinding(b, opts)
 		if !live {
@@ -306,6 +325,12 @@ func (p *Plan) Traced() bool { return p.prog != nil }
 
 // Protected reports whether fault capture is compiled into the plan.
 func (p *Plan) Protected() bool { return p.protect != nil }
+
+// AdmitQueue returns the admission queue compiled into the plan, or nil
+// when asynchronous work spawns unqueued. The dispatcher's async raise path
+// consults it on the plan it loaded, so a policy toggle publishes through
+// the same atomic swap installs use.
+func (p *Plan) AdmitQueue() *admit.Queue { return p.admitQ }
 
 // TreeUnits reports the number of decision-tree units in the plan and the
 // total bindings they cover (for tests and disassembly).
@@ -462,7 +487,11 @@ func (p *Plan) Execute(env *Env, args []any) Outcome {
 		if b.Async {
 			p.chargeHandler(cpu, st)
 			inv := p.invoker(st, args)
-			if env.SpawnHandler != nil {
+			if p.admitQ != nil && env.SubmitHandler != nil {
+				// Admission compiled in: the invocation passes through
+				// the bounded queue and may be shed under overload.
+				env.SubmitHandler(p.admitQ, b.Tag, p.info.Arity, inv)
+			} else if env.SpawnHandler != nil {
 				env.SpawnHandler(b.Tag, p.info.Arity, inv)
 			} else {
 				env.Spawn(p.info.Arity, func() { _ = inv(context.Background()) })

@@ -123,6 +123,11 @@ type Binding struct {
 	intrinsic  bool
 	isDefault  bool
 	credential any
+	// priority is the binding's degradation priority class: 0 (the
+	// default) is essential and never disabled; higher numbers are more
+	// optional and are disabled first as the overload controller steps
+	// through its degradation levels.
+	priority int
 
 	installed bool
 	// quarantined marks a binding compiled out of its event's plan by the
@@ -130,6 +135,11 @@ type Binding struct {
 	// Atomic because the readmission timer flips it off-lock-order with
 	// fault observation (see faultctl.go).
 	quarantined atomic.Bool
+	// degraded marks a binding compiled out of its event's plan by the
+	// overload controller (its priority class is disabled at the current
+	// degradation level). Atomic for the same reason quarantined is: the
+	// controller flips it while walking events off the fault lock order.
+	degraded atomic.Bool
 	// fired is striped: it is incremented on every firing of a hot
 	// binding, potentially from many cores at once (see stripe.go).
 	fired        stripedCounter
@@ -183,6 +193,15 @@ func (b *Binding) Terminated() bool { return b.terminated.Load() }
 // Quarantined reports whether the fault controller has compiled the
 // binding out of its event's dispatch plan.
 func (b *Binding) Quarantined() bool { return b.quarantined.Load() }
+
+// Priority returns the binding's degradation priority class (0 =
+// essential).
+func (b *Binding) Priority() int { return b.priority }
+
+// Degraded reports whether the overload controller has compiled the
+// binding out of its event's dispatch plan at the current degradation
+// level.
+func (b *Binding) Degraded() bool { return b.degraded.Load() }
 
 // FaultState returns the binding's state in the dispatcher's fault ledger
 // (Healthy for a binding that has never exhausted a budget).

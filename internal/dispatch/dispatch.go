@@ -33,6 +33,7 @@ import (
 	"errors"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spin/internal/codegen"
@@ -78,6 +79,15 @@ type Dispatcher struct {
 	quota   quotas
 	tracer  *trace.Tracer
 
+	// admit is the overload controller: always present, since its worker
+	// pool backs the default spawner; admission queues and degradation are
+	// configured with WithAdmission. pooledSpawn records that the default
+	// (pool-backed) spawner is in use, so async watchdogs know abandoning
+	// a stuck invocation must also raise the pool's capacity.
+	admit       *admitCtl
+	admitCfg    *AdmissionConfig
+	pooledSpawn bool
+
 	// faults is the fault controller: always present so every recovered
 	// panic is recorded, enforcing (quarantine, deadlines, budgets) only
 	// when a policy was installed with WithFaultPolicy.
@@ -115,7 +125,13 @@ func WithPurityChecking() Option {
 }
 
 // WithSpawner overrides how real-mode asynchronous invocations obtain a
-// thread of control. The default runs each on a new goroutine.
+// thread of control. The default runs each on the dispatcher's shared
+// size-capped worker pool, which bounds how many asynchronous invocations
+// run at once (excess work queues; nothing is shed) — an escape hatch for
+// callers who need the old unbounded behaviour is
+// WithSpawner(func(fn func()) { go fn() }). Admission-governed
+// invocations (WithAdmission, Event.SetAdmission) always drain on the
+// pool; this option governs only unqueued spawns.
 func WithSpawner(spawn func(fn func())) Option {
 	return func(d *Dispatcher) { d.spawner = spawn }
 }
@@ -151,8 +167,14 @@ func New(opts ...Option) *Dispatcher {
 	for _, o := range opts {
 		o(d)
 	}
+	acfg := AdmissionConfig{}
+	if d.admitCfg != nil {
+		acfg = *d.admitCfg
+	}
+	d.admit = newAdmitCtl(d, acfg)
 	if d.spawner == nil {
-		d.spawner = func(fn func()) { go fn() }
+		d.spawner = d.admit.pool.Go
+		d.pooledSpawn = true
 	}
 	pol := fault.Policy{}
 	if d.faultPolicy != nil {
@@ -293,21 +315,41 @@ func (d *Dispatcher) spawnHandler(tag any, arity int, invoke func(context.Contex
 		ctx := context.Background()
 		var cancel context.CancelFunc
 		var timer *time.Timer
+		// state is the watchdog handshake: 0 running, 1 completed, 2
+		// abandoned. Exactly one side wins the CAS, so an invocation
+		// completing as its watchdog fires cannot be double-accounted as
+		// both a deadline fault and a clean completion — and on the pooled
+		// spawner the watchdog hands the squatted worker's capacity back
+		// (Abandon) so stuck invocations cannot starve the pool, with the
+		// eventual return reclaiming it.
+		var state atomic.Int32
 		if deadline > 0 && d.sim == nil {
 			ctx, cancel = context.WithCancel(ctx)
 			timer = time.AfterFunc(deadline, func() {
+				if !state.CompareAndSwap(0, 2) {
+					return
+				}
 				if b != nil {
 					b.terminations.Add(1)
 					b.terminated.Store(true)
 				}
 				d.faults.deadline(b, deadline)
 				cancel()
+				if d.pooledSpawn {
+					d.admit.pool.Abandon()
+				}
 			})
 		}
 		_, ok, val, stack := runProtected(ctx, invoke)
 		if timer != nil {
 			timer.Stop()
 			cancel()
+			if !state.CompareAndSwap(0, 1) {
+				if d.pooledSpawn {
+					d.admit.pool.Reclaim()
+				}
+				return // already accounted as a deadline termination
+			}
 		}
 		if !ok {
 			if b != nil {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"spin/internal/admit"
 	"spin/internal/codegen"
 	"spin/internal/rtti"
 	"spin/internal/trace"
@@ -48,6 +49,10 @@ type Event struct {
 	// it. Guarded by mu; the published plan carries the decision, so
 	// raises never read this field.
 	tracer *trace.Tracer
+	// admitQ, when non-nil, makes recompile emit plans whose asynchronous
+	// steps pass through the bounded admission queue. Guarded by mu for
+	// the same reason tracer is: the published plan carries the decision.
+	admitQ *admit.Queue
 
 	plan atomic.Pointer[codegen.Plan]
 
@@ -115,6 +120,9 @@ func (d *Dispatcher) DefineEvent(name string, sig rtti.Signature, opts ...EventO
 	}
 	e := &Event{d: d, name: name, sig: sig, async: cfg.async, authority: cfg.owner}
 	e.tracer = d.tracer
+	if pol := d.admit.defaultPolicy(); pol != nil {
+		e.admitQ = d.admit.newQueue(name, *pol)
+	}
 	e.env = e.newEnv()
 
 	if cfg.intrinsic != nil {
@@ -231,10 +239,11 @@ func (e *Event) Tracer() *trace.Tracer {
 func (e *Event) recompile(charge bool) {
 	specs := make([]*codegen.Binding, 0, len(e.bindings))
 	for _, b := range e.bindings {
-		if b.quarantined.Load() {
-			// Quarantined bindings stay on the handler list (their
-			// installation is intact) but are compiled out of the plan,
-			// so the hot path pays nothing for them (DESIGN.md 12).
+		if b.quarantined.Load() || b.degraded.Load() {
+			// Quarantined and degraded bindings stay on the handler list
+			// (their installation is intact) but are compiled out of the
+			// plan, so the hot path pays nothing for them (DESIGN.md 12,
+			// 13).
 			continue
 		}
 		specs = append(specs, b.compile(e.d))
@@ -246,6 +255,7 @@ func (e *Event) recompile(charge bool) {
 	info := codegen.EventInfo{Name: e.name, Arity: e.sig.Arity(), HasResult: e.sig.HasResult()}
 	opts := e.d.cgOpts
 	opts.Trace = e.tracer
+	opts.Admit = e.admitQ
 	if e.d.faults.enforce {
 		opts.Protect = e.d.faults
 	}
@@ -286,6 +296,15 @@ func (e *Event) Raise(args ...any) (any, error) {
 // thread of control and the raiser proceeds immediately. Raising an event
 // that returns a result asynchronously is an error unless a default
 // handler is installed (§2.6).
+//
+// On an event with an admission policy (WithAdmission's Default, or
+// SetAdmission) the raise passes through the event's bounded queue: the
+// plan executes on a pool worker, and under overload the policy decides —
+// a shed raise returns an error wrapping admit.ErrOverload, a Block-mode
+// raise waits (bounded by the policy's BlockTimeout), a Coalesce-mode
+// raise may merge into a pending raise of the same event. Under the
+// simulator admission is inactive: a single-threaded simulation cannot
+// overload itself.
 func (e *Event) RaiseAsync(args ...any) error {
 	if err := e.checkArgs(args); err != nil {
 		return err
@@ -301,6 +320,12 @@ func (e *Event) RaiseAsync(args ...any) error {
 	if e.sig.HasByRef() {
 		return fmt.Errorf("%w: %s", ErrAsyncByRef, e.name)
 	}
+	if q := e.plan.Load().AdmitQueue(); q != nil && e.d.sim == nil {
+		e.d.cpu.Begin(vtime.AccountEvents)
+		err := e.d.submitRaise(q, e, args)
+		e.d.cpu.End()
+		return err
+	}
 	e.d.cpu.Begin(vtime.AccountEvents)
 	e.d.spawn(e.sig.Arity(), func() {
 		_, _ = e.raiseSync(args)
@@ -309,14 +334,41 @@ func (e *Event) RaiseAsync(args ...any) error {
 	return nil
 }
 
+// SetAdmission gives the event a bounded admission queue under pol (or
+// removes it with nil): asynchronous raises and asynchronous handler
+// invocations pass through the queue, drained by the dispatcher's shared
+// worker pool. The decision is compiled into the dispatch plan and
+// published with the same atomic swap installs use, so raises in flight
+// finish on the plan they loaded and the toggle never blocks a raise.
+func (e *Event) SetAdmission(pol *admit.Policy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if pol == nil {
+		if e.admitQ == nil {
+			return
+		}
+		e.admitQ = nil
+	} else {
+		e.admitQ = e.d.admit.newQueue(e.name, *pol)
+	}
+	// Uncharged, like Trace: toggling overload control is operator
+	// tooling, not the paper's installation workload.
+	e.recompile(false)
+}
+
+// AdmissionQueue returns the admission queue compiled into the event's
+// current plan, or nil when the event is unqueued.
+func (e *Event) AdmissionQueue() *admit.Queue { return e.plan.Load().AdmitQueue() }
+
 // newEnv builds the event's cached execution environment. Every hook
 // captures only the event, so the value is immutable across recompiles and
 // shared by all raises.
 func (e *Event) newEnv() *codegen.Env {
 	return &codegen.Env{
-		CPU:          e.d.cpu,
-		Spawn:        e.d.spawn,
-		SpawnHandler: e.d.spawnHandler,
+		CPU:           e.d.cpu,
+		Spawn:         e.d.spawn,
+		SpawnHandler:  e.d.spawnHandler,
+		SubmitHandler: e.d.submitHandler,
 		RunEphemeral: func(tag any, invoke func(context.Context) any) (any, bool) {
 			b, _ := tag.(*Binding)
 			var deadline = DefaultEphemeralDeadline

@@ -27,6 +27,7 @@ type installCfg struct {
 	deadline   time.Duration
 	filter     bool
 	credential any
+	priority   int
 }
 
 // WithGuard attaches a guard predicate to the installation; the handler
@@ -110,6 +111,21 @@ func WithDeadline(deadline time.Duration) InstallOption {
 	return func(c *installCfg) error { c.deadline = deadline; return nil }
 }
 
+// WithPriority assigns the handler a degradation priority class: 0 (the
+// default) is essential and never disabled; higher classes are more
+// optional and are compiled out of the dispatch plan first when the
+// overload controller steps through its degradation levels (see
+// WithAdmission). Negative classes are treated as 0.
+func WithPriority(class int) InstallOption {
+	return func(c *installCfg) error {
+		if class < 0 {
+			class = 0
+		}
+		c.priority = class
+		return nil
+	}
+}
+
 // checkHandlerImpl validates that a handler has an implementation and a
 // descriptor.
 func checkHandlerImpl(h Handler) error {
@@ -191,6 +207,7 @@ func (e *Event) Install(h Handler, opts ...InstallOption) (*Binding, error) {
 		deadline:   cfg.deadline,
 		filter:     cfg.filter,
 		credential: cfg.credential,
+		priority:   cfg.priority,
 	}
 
 	e.mu.Lock()
@@ -207,18 +224,36 @@ func (e *Event) Install(h Handler, opts ...InstallOption) (*Binding, error) {
 		e.traceRejectLocked(trace.RejectQuota, b)
 		return nil, err
 	}
+	// Admission accounting: a module that declared an async quota on its
+	// rtti descriptor may not hold more asynchronous bindings than it
+	// promised (§2.6's resource accounting extended to threads of control).
+	if b.async {
+		if err := e.d.quota.chargeAsync(b.Installer()); err != nil {
+			e.d.quota.release(b.Installer())
+			e.traceRejectLocked(trace.RejectQuota, b)
+			return nil, err
+		}
+	}
 	if err := e.authorizeLocked(OpInstall, b); err != nil {
-		e.d.quota.release(b.Installer())
+		e.releaseQuotasLocked(b)
 		e.traceRejectLocked(trace.RejectAuth, b)
 		return nil, err
 	}
 	if err := e.insertLocked(b); err != nil {
-		e.d.quota.release(b.Installer())
+		e.releaseQuotasLocked(b)
 		return nil, err
 	}
 	b.installed = true
 	e.recompile(true)
 	return b, nil
+}
+
+// releaseQuotasLocked returns b's installation and admission accounting.
+func (e *Event) releaseQuotasLocked(b *Binding) {
+	e.d.quota.release(b.Installer())
+	if b.async {
+		e.d.quota.releaseAsync(b.Installer())
+	}
 }
 
 // traceRejectLocked records a control-plane rejection span for a denied
@@ -285,7 +320,7 @@ func (e *Event) Uninstall(b *Binding) error {
 	e.bindings = append(e.bindings[:i], e.bindings[i+1:]...)
 	b.installed = false
 	if !b.intrinsic {
-		e.d.quota.release(b.Installer())
+		e.releaseQuotasLocked(b)
 	}
 	// Drop the binding's fault-ledger entry: a pending readmission timer
 	// finds the entry gone and does nothing.

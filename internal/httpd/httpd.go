@@ -20,12 +20,15 @@ package httpd
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"spin/internal/dispatch"
 	"spin/internal/fs"
 	"spin/internal/netstack"
 	"spin/internal/rtti"
 	"spin/internal/sched"
+	"spin/internal/vtime"
 )
 
 // Module is the web server's module descriptor, authority over
@@ -69,6 +72,19 @@ type Config struct {
 	DocRoot string
 	// Prefix namespaces the event name, like the other substrates.
 	Prefix string
+	// ReadTimeout closes a connection that stays idle — no request bytes
+	// arriving — for at least this long (enforcement is lazy: a timer
+	// polls every ReadTimeout, so an idle connection closes within two
+	// periods). Zero disables. Requires a simulator; in real-time mode
+	// virtual timers do not exist and the setting is ignored.
+	ReadTimeout vtime.Duration
+	// WriteTimeout caps a connection's total lifetime. The simulated
+	// stack has an unbounded send window, so response writes complete
+	// immediately and a per-write deadline would never fire; what remains
+	// observable is a peer that neither sends another request nor closes,
+	// and WriteTimeout bounds how long such a connection may hold its
+	// strand. Zero disables; ignored in real-time mode like ReadTimeout.
+	WriteTimeout vtime.Duration
 }
 
 // Server is a running web server extension.
@@ -83,20 +99,37 @@ type Server struct {
 	// request, with the URL path as its argument.
 	Request *dispatch.Event
 
+	readTimeout  vtime.Duration
+	writeTimeout vtime.Duration
+
 	listener *netstack.TCPListener
 	acceptor *sched.Strand
+
+	// draining flips once on Shutdown; connection strands observe it and
+	// close after answering whatever complete requests they have
+	// buffered.
+	draining atomic.Bool
+	// connMu guards conns, the live-connection registry Shutdown walks to
+	// wake idle strands. Shutdown may be called from outside the
+	// simulator goroutine (a signal handler), hence the mutex.
+	connMu sync.Mutex
+	conns  map[*netstack.TCPConn]*sched.Strand
 
 	// Served counts completed responses by status.
 	Served   int64
 	NotFound int64
 	BadReqs  int64
+	// TimedOut counts connections closed by ReadTimeout or WriteTimeout.
+	TimedOut int64
 }
 
 // New defines the Httpd.Request event and starts the accept loop. The
 // server serves until its listener is closed.
 func New(d *dispatch.Dispatcher, cfg Config) (*Server, error) {
 	s := &Server{stack: cfg.Stack, fsys: cfg.FS, sched: cfg.Sched,
-		port: cfg.Port, docRoot: cfg.DocRoot}
+		port: cfg.Port, docRoot: cfg.DocRoot,
+		readTimeout: cfg.ReadTimeout, writeTimeout: cfg.WriteTimeout,
+		conns: make(map[*netstack.TCPConn]*sched.Strand)}
 	if s.port == 0 {
 		s.port = 80
 	}
@@ -134,10 +167,57 @@ func New(d *dispatch.Dispatcher, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close stops accepting connections.
+// Close stops accepting connections. Established connections keep being
+// served; use Shutdown for a graceful drain.
 func (s *Server) Close() {
 	s.listener.Close()
 	s.sched.Kill(s.acceptor)
+}
+
+// Shutdown drains the server gracefully: the listener closes, the accept
+// loop stops, and every live connection strand is woken so it answers the
+// complete requests already buffered and then closes instead of waiting
+// for more. Safe to call from any goroutine (a SIGTERM handler, say);
+// idempotent. Poll Drained — or run the simulator to quiescence — to
+// observe completion.
+func (s *Server) Shutdown() {
+	if !s.draining.CompareAndSwap(false, true) {
+		return
+	}
+	s.listener.Close()
+	s.sched.Kill(s.acceptor)
+	s.connMu.Lock()
+	for _, st := range s.conns {
+		s.sched.Wakeup(st)
+	}
+	s.connMu.Unlock()
+}
+
+// Drained reports whether Shutdown has been called and every connection
+// has closed.
+func (s *Server) Drained() bool {
+	if !s.draining.Load() {
+		return false
+	}
+	s.connMu.Lock()
+	n := len(s.conns)
+	s.connMu.Unlock()
+	return n == 0
+}
+
+// Draining reports whether Shutdown has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) track(conn *netstack.TCPConn, st *sched.Strand) {
+	s.connMu.Lock()
+	s.conns[conn] = st
+	s.connMu.Unlock()
+}
+
+func (s *Server) untrack(conn *netstack.TCPConn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
 }
 
 // intrinsicRequest is the native file-serving implementation.
@@ -161,6 +241,10 @@ func (s *Server) acceptLoop(st *sched.Strand) sched.Status {
 		if !ok {
 			break
 		}
+		if s.draining.Load() {
+			_ = conn.Close()
+			continue
+		}
 		c := conn
 		s.sched.Spawn("httpd-conn", 0, s.connHandler(c))
 	}
@@ -169,15 +253,53 @@ func (s *Server) acceptLoop(st *sched.Strand) sched.Status {
 }
 
 // connHandler builds the per-connection strand body: accumulate request
-// bytes, answer each complete request, close on EOF.
+// bytes, answer each complete request, close on EOF, read timeout, write
+// timeout, or server drain.
+//
+// Timer callbacks and strand steps both run on the simulator goroutine,
+// so the closure state below needs no locking; in real-time mode
+// Scheduler.After reports ErrNoSimulator and timeouts are disabled.
 func (s *Server) connHandler(conn *netstack.TCPConn) sched.StepFunc {
 	var buf []byte
+	var self *sched.Strand
+	gen, armedAt := 0, 0 // bytes-arrived generation; snapshot at last arm
+	done, timedOut := false, false
+	var idler func()
+	idler = func() {
+		if done {
+			return
+		}
+		if gen == armedAt {
+			// A full ReadTimeout elapsed with no request bytes.
+			timedOut = true
+			s.sched.Wakeup(self)
+			return
+		}
+		armedAt = gen
+		_ = s.sched.After(s.readTimeout, idler)
+	}
 	return func(st *sched.Strand) sched.Status {
+		if self == nil {
+			self = st
+			s.track(conn, st)
+			if s.readTimeout > 0 {
+				_ = s.sched.After(s.readTimeout, idler)
+			}
+			if s.writeTimeout > 0 {
+				_ = s.sched.After(s.writeTimeout, func() {
+					if !done {
+						timedOut = true
+						s.sched.Wakeup(self)
+					}
+				})
+			}
+		}
 		for {
 			data, ok := conn.Recv()
 			if !ok {
 				break
 			}
+			gen++
 			buf = append(buf, data...)
 		}
 		// Serve every complete request line in the buffer.
@@ -193,7 +315,12 @@ func (s *Server) connHandler(conn *netstack.TCPConn) sched.StepFunc {
 			}
 			s.serve(conn, line)
 		}
-		if conn.EOF() {
+		if conn.EOF() || timedOut || s.draining.Load() {
+			if timedOut {
+				s.TimedOut++
+			}
+			done = true
+			s.untrack(conn)
 			_ = conn.Close()
 			return sched.Done
 		}

@@ -11,6 +11,7 @@ import (
 	"spin/internal/netwire"
 	"spin/internal/rtti"
 	"spin/internal/sched"
+	"spin/internal/vtime"
 )
 
 // rig: server machine A with httpd + fs, client machine B.
@@ -277,5 +278,160 @@ func TestCloseStopsAccepting(t *testing.T) {
 	r.a.Sim.Run(200000)
 	if conn.Established() {
 		t.Fatal("connected to a closed server")
+	}
+}
+
+func TestReadTimeoutClosesIdleConnection(t *testing.T) {
+	r := boot(t)
+	srv2, err := New(r.a.Dispatcher, Config{Stack: r.sa, FS: r.fsA, Sched: r.a.Sched,
+		Port: 81, Prefix: "T:", ReadTimeout: vtime.Micros(1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dial and establish, then send nothing: the idle timer fires and the
+	// server closes the connection.
+	client, err := NewClient(r.sb, "10.0.0.1", 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.a.Sim.Run(500000)
+	if srv2.TimedOut != 1 {
+		t.Fatalf("timedout = %d, want 1", srv2.TimedOut)
+	}
+	if !client.Conn().EOF() && !client.Conn().Closed() {
+		t.Fatal("client connection still open after read timeout")
+	}
+}
+
+func TestReadTimeoutSparesActiveConnection(t *testing.T) {
+	r := boot(t)
+	srv2, err := New(r.a.Dispatcher, Config{Stack: r.sa, FS: r.fsA, Sched: r.a.Sched,
+		Port: 81, Prefix: "T:", ReadTimeout: vtime.Micros(5000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(r.sb, "10.0.0.1", 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := false
+	r.b.Sched.Spawn("client", 0, func(st *sched.Strand) sched.Status {
+		if !client.Conn().Established() {
+			client.Conn().AwaitEstablished(st)
+			return sched.Block
+		}
+		if !sent {
+			sent = true
+			_ = client.Get("/paper.ps")
+		}
+		client.Pump()
+		if len(client.Responses) >= 1 {
+			_ = client.Conn().Close()
+			return sched.Done
+		}
+		client.Conn().AwaitData(st)
+		return sched.Block
+	})
+	r.a.Sim.Run(500000)
+	if len(client.Responses) != 1 || client.Responses[0].Status != 200 {
+		t.Fatalf("responses = %+v", client.Responses)
+	}
+	if srv2.TimedOut != 0 {
+		t.Fatalf("active connection timed out: %d", srv2.TimedOut)
+	}
+}
+
+func TestWriteTimeoutCapsConnectionLifetime(t *testing.T) {
+	r := boot(t)
+	srv2, err := New(r.a.Dispatcher, Config{Stack: r.sa, FS: r.fsA, Sched: r.a.Sched,
+		Port: 81, Prefix: "T:", WriteTimeout: vtime.Micros(2000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(r.sb, "10.0.0.1", 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := false
+	r.b.Sched.Spawn("client", 0, func(st *sched.Strand) sched.Status {
+		if !client.Conn().Established() {
+			client.Conn().AwaitEstablished(st)
+			return sched.Block
+		}
+		if !sent {
+			sent = true
+			_ = client.Get("/paper.ps")
+		}
+		client.Pump()
+		if client.Conn().EOF() {
+			_ = client.Conn().Close()
+			return sched.Done
+		}
+		// Never close: the lifetime cap must end the connection.
+		client.Conn().AwaitData(st)
+		return sched.Block
+	})
+	r.a.Sim.Run(500000)
+	if len(client.Responses) != 1 || client.Responses[0].Status != 200 {
+		t.Fatalf("responses = %+v", client.Responses)
+	}
+	if srv2.TimedOut != 1 {
+		t.Fatalf("timedout = %d, want 1", srv2.TimedOut)
+	}
+}
+
+func TestShutdownDrainsConnections(t *testing.T) {
+	r := boot(t)
+	client, err := NewClient(r.sb, "10.0.0.1", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := false
+	r.b.Sched.Spawn("client", 0, func(st *sched.Strand) sched.Status {
+		if !client.Conn().Established() {
+			client.Conn().AwaitEstablished(st)
+			return sched.Block
+		}
+		if !sent {
+			sent = true
+			_ = client.Get("/paper.ps")
+		}
+		client.Pump()
+		if client.Conn().EOF() {
+			_ = client.Conn().Close()
+			return sched.Done
+		}
+		// Keep-alive: hold the connection open until the server closes.
+		client.Conn().AwaitData(st)
+		return sched.Block
+	})
+	r.a.Sim.Run(500000)
+	if len(client.Responses) != 1 {
+		t.Fatalf("responses = %d, want 1", len(client.Responses))
+	}
+	if r.srv.Drained() {
+		t.Fatal("drained before Shutdown")
+	}
+
+	r.srv.Shutdown()
+	r.srv.Shutdown() // idempotent
+	r.a.Sim.Run(500000)
+	if !r.srv.Drained() {
+		t.Fatal("server not drained after Shutdown")
+	}
+	if !client.Conn().EOF() && !client.Conn().Closed() {
+		t.Fatal("client connection survived drain")
+	}
+	// New connection attempts are refused.
+	conn, err := r.sb.DialTCP("10.0.0.1", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.a.Sim.Run(200000)
+	if conn.Established() {
+		t.Fatal("connected to a draining server")
+	}
+	if r.srv.Served != 1 {
+		t.Fatalf("served = %d, want 1", r.srv.Served)
 	}
 }

@@ -53,6 +53,13 @@ type Config struct {
 	// their events' dispatch plans (see internal/fault). Nil leaves the
 	// dispatcher in record-only mode.
 	FaultPolicy *fault.Policy
+	// Admission, when non-nil, enables overload control machine-wide:
+	// asynchronous raises and handler invocations pass through bounded
+	// admission queues drained by a size-capped worker pool, and the
+	// degradation controller (when levels are configured) disables
+	// optional bindings by priority class as load crosses thresholds
+	// (see internal/admit).
+	Admission *dispatch.AdmissionConfig
 	// ShareWith, when non-nil, makes this machine share the given
 	// machine's virtual clock and simulator — required for multi-machine
 	// experiments (the Table 2 UDP roundtrip runs two machines on one
@@ -108,6 +115,9 @@ func Boot(cfg Config) (*Machine, error) {
 	}
 	if cfg.FaultPolicy != nil {
 		dopts = append(dopts, dispatch.WithFaultPolicy(*cfg.FaultPolicy))
+	}
+	if cfg.Admission != nil {
+		dopts = append(dopts, dispatch.WithAdmission(*cfg.Admission))
 	}
 	m.Dispatcher = dispatch.New(dopts...)
 	m.Nexus = linker.NewNexus()

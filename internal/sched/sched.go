@@ -227,6 +227,19 @@ func (s *Scheduler) WakeAfter(st *Strand, d vtime.Duration) error {
 	return nil
 }
 
+// After schedules fn to run d into the virtual future on the simulator
+// timeline. It requires a simulator; callers that tolerate real-time mode
+// (where no virtual timers exist) should treat ErrNoSimulator as "timers
+// disabled". The callback runs on the simulator goroutine, serialized with
+// strand steps.
+func (s *Scheduler) After(d vtime.Duration, fn func()) error {
+	if s.sim == nil {
+		return ErrNoSimulator
+	}
+	s.sim.After(d, fn)
+	return nil
+}
+
 // Kill retires a strand immediately. The paper's user-space thread
 // managers use this when an EPHEMERAL context-switch handler is
 // terminated: "premature termination results in the termination of the

@@ -67,6 +67,10 @@ func spanName(sp Span) string {
 			return fmt.Sprintf("%s restored", sp.Name)
 		}
 		return fmt.Sprintf("%s on probation", sp.Name)
+	case KindShed:
+		return fmt.Sprintf("%s shed [depth %d]", sp.Event, sp.Detail>>8)
+	case KindDegrade:
+		return fmt.Sprintf("degrade %d -> %d [%s]", sp.Detail>>8&0xFF, sp.Detail&0xFF, sp.Name)
 	}
 	return sp.Kind.String()
 }
@@ -120,6 +124,15 @@ func exportChrome(w io.Writer, spans []Span) error {
 		case KindProbation:
 			ev.Args["restored"] = sp.Pass
 			ev.Args["event"] = sp.Event
+		case KindShed:
+			ev.Args["depth"] = sp.Detail >> 8
+			ev.Args["mode"] = sp.Detail & 0xFF
+			ev.Args["event"] = sp.Event
+		case KindDegrade:
+			ev.Args["from"] = sp.Detail >> 8 & 0xFF
+			ev.Args["to"] = sp.Detail & 0xFF
+			ev.Args["level"] = sp.Name
+			ev.Args["escalation"] = sp.Pass
 		}
 		file.TraceEvents = append(file.TraceEvents, ev)
 	}

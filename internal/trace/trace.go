@@ -56,6 +56,12 @@ const (
 	// KindProbation marks a quarantined binding re-admitted under a
 	// tightened budget, or restored to full health (Pass set).
 	KindProbation
+	// KindShed marks an asynchronous submission shed by an admission
+	// queue; Detail packs the queue depth and the policy mode.
+	KindShed
+	// KindDegrade marks a degradation-level transition; Detail packs the
+	// from and to levels, Pass marks an escalation.
+	KindDegrade
 )
 
 func (k Kind) String() string {
@@ -78,6 +84,10 @@ func (k Kind) String() string {
 		return "quarantine"
 	case KindProbation:
 		return "probation"
+	case KindShed:
+		return "shed"
+	case KindDegrade:
+		return "degrade"
 	}
 	return "kind(?)"
 }
@@ -387,6 +397,20 @@ func (t *Tracer) Quarantine(event, handler string, level int) {
 	t.emit(0, pack(p.id, 0, 0, KindQuarantine, ModeSync, 0), t.now(), 0, uint64(level))
 }
 
+// Degrade records a degradation-level transition: the overload controller
+// moved from level `from` to level `to` (named by name). Transitions are
+// rare, so the per-call metadata registration is acceptable here; per-shed
+// spans use the cached Program.Shed path instead.
+func (t *Tracer) Degrade(from, to int, name string) {
+	p := t.Program(EventMeta{Event: "*", Steps: []StepMeta{{Name: name}}})
+	var flags uint64
+	if to > from {
+		flags |= flagPass // escalation
+	}
+	t.emit(0, pack(p.id, 0, 0, KindDegrade, ModeSync, flags), t.now(), 0,
+		(uint64(from)&0xFF)<<8|uint64(to)&0xFF)
+}
+
 // Probation records a quarantined binding's re-admission under a tightened
 // budget; restored marks the later return to full health.
 func (t *Tracer) Probation(event, handler string, restored bool) {
@@ -441,7 +465,7 @@ func (t *Tracer) Snapshot() []Span {
 			} else if mode == ModeDefault {
 				sp.Name = meta.Default
 			}
-		case KindReject, KindFault, KindQuarantine, KindProbation:
+		case KindReject, KindFault, KindQuarantine, KindProbation, KindDegrade:
 			if len(meta.Steps) > 0 {
 				sp.Name = meta.Steps[0].Name
 			}
@@ -533,6 +557,16 @@ func (p *Program) RaiseEnd(raise uint64, start, cost int64, fired int, ambiguous
 		flags |= flagUsedDefault
 	}
 	p.t.emit(raise, pack(p.id, -1, 0, KindRaiseEnd, ModeSync, flags), start, cost, uint64(fired))
+}
+
+// Shed records one shed submission against the program's event. Unlike the
+// Tracer's control-plane helpers this reuses the program's registered
+// metadata, so shedding under sustained overload — the one time shed spans
+// fire in volume — allocates nothing. depth is the queue depth at the shed;
+// mode the admission policy's mode code.
+func (p *Program) Shed(depth int, mode uint8) {
+	p.t.emit(0, pack(p.id, -1, 0, KindShed, ModeSync, 0), p.t.now(), 0,
+		(uint64(depth)&0xFFFFFF)<<8|uint64(mode))
 }
 
 // Stamp returns the current instant (see Tracer.Stamp).

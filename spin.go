@@ -28,6 +28,7 @@
 package spin
 
 import (
+	"spin/internal/admit"
 	"spin/internal/codegen"
 	"spin/internal/dispatch"
 	"spin/internal/fault"
@@ -100,6 +101,50 @@ var (
 	NewFaultInjector = fault.NewInjector
 	// WithDeadline attaches a watchdog deadline to an async handler.
 	WithDeadline = dispatch.WithDeadline
+)
+
+// Overload control (see internal/admit and DESIGN.md decision 13):
+// asynchronous raises and handler invocations pass through bounded
+// admission queues drained by a shared size-capped worker pool; a
+// pluggable policy decides what happens at capacity, and a degradation
+// controller disables optional bindings by priority class as load crosses
+// configured thresholds.
+type (
+	// AdmissionConfig configures a dispatcher's overload control.
+	AdmissionConfig = dispatch.AdmissionConfig
+	// AdmitPolicy is one event's admission policy (mode, queue depth,
+	// block timeout, retry schedule).
+	AdmitPolicy = admit.Policy
+	// AdmitMode selects the full-queue behaviour (Block, Shed,
+	// ShedOldest, Coalesce).
+	AdmitMode = admit.Mode
+	// AdmitLevel is one rung of the degradation ladder.
+	AdmitLevel = admit.Level
+	// AdmitQueueStats is one admission queue's accounting snapshot.
+	AdmitQueueStats = admit.QueueStats
+	// AdmitPoolStats is the shared worker pool's snapshot.
+	AdmitPoolStats = admit.PoolStats
+	// OverloadError is the typed error a shed asynchronous raise returns;
+	// test with errors.Is(err, ErrOverload).
+	OverloadError = admit.OverloadError
+)
+
+// Admission policy modes.
+const (
+	AdmitBlock      = admit.Block
+	AdmitShed       = admit.Shed
+	AdmitShedOldest = admit.ShedOldest
+	AdmitCoalesce   = admit.Coalesce
+)
+
+var (
+	// ErrOverload is the sentinel every shed submission wraps.
+	ErrOverload = admit.ErrOverload
+	// WithAdmission enables overload control on a dispatcher.
+	WithAdmission = dispatch.WithAdmission
+	// WithPriority assigns a handler installation a degradation priority
+	// class (0 = essential, never disabled).
+	WithPriority = dispatch.WithPriority
 )
 
 // Runtime type information (paper §2.4-2.5).

@@ -64,6 +64,10 @@ func (e *Event0) Underlying() *Event { return e.ev }
 // Trace enables (or, with nil, disables) dispatch tracing for this event.
 func (e *Event0) Trace(t *Tracer) { e.ev.Trace(t) }
 
+// SetAdmission gives the event a bounded admission queue under pol, or
+// removes it with nil (see Event.SetAdmission).
+func (e *Event0) SetAdmission(pol *AdmitPolicy) { e.ev.SetAdmission(pol) }
+
 // Raise announces the event through the zero-allocation arity-specialized
 // path.
 func (e *Event0) Raise() error {
@@ -106,6 +110,10 @@ func (e *Event1[A1]) Underlying() *Event { return e.ev }
 
 // Trace enables (or, with nil, disables) dispatch tracing for this event.
 func (e *Event1[A1]) Trace(t *Tracer) { e.ev.Trace(t) }
+
+// SetAdmission gives the event a bounded admission queue under pol, or
+// removes it with nil (see Event.SetAdmission).
+func (e *Event1[A1]) SetAdmission(pol *AdmitPolicy) { e.ev.SetAdmission(pol) }
 
 // Raise announces the event through the arity-specialized path: the
 // argument travels in a pooled fixed-size frame, not a fresh []any.
@@ -164,6 +172,10 @@ func (e *Event2[A1, A2]) Underlying() *Event { return e.ev }
 
 // Trace enables (or, with nil, disables) dispatch tracing for this event.
 func (e *Event2[A1, A2]) Trace(t *Tracer) { e.ev.Trace(t) }
+
+// SetAdmission gives the event a bounded admission queue under pol, or
+// removes it with nil (see Event.SetAdmission).
+func (e *Event2[A1, A2]) SetAdmission(pol *AdmitPolicy) { e.ev.SetAdmission(pol) }
 
 // Raise announces the event through the arity-specialized path.
 func (e *Event2[A1, A2]) Raise(a1 A1, a2 A2) error {
@@ -227,6 +239,10 @@ func (e *Event3[A1, A2, A3]) Underlying() *Event { return e.ev }
 // Trace enables (or, with nil, disables) dispatch tracing for this event.
 func (e *Event3[A1, A2, A3]) Trace(t *Tracer) { e.ev.Trace(t) }
 
+// SetAdmission gives the event a bounded admission queue under pol, or
+// removes it with nil (see Event.SetAdmission).
+func (e *Event3[A1, A2, A3]) SetAdmission(pol *AdmitPolicy) { e.ev.SetAdmission(pol) }
+
 // Raise announces the event through the arity-specialized path.
 func (e *Event3[A1, A2, A3]) Raise(a1 A1, a2 A2, a3 A3) error {
 	_, err := e.ev.Raise3(a1, a2, a3)
@@ -273,6 +289,10 @@ func (e *FuncEvent0[R]) Underlying() *Event { return e.ev }
 // Trace enables (or, with nil, disables) dispatch tracing for this event.
 func (e *FuncEvent0[R]) Trace(t *Tracer) { e.ev.Trace(t) }
 
+// SetAdmission gives the event a bounded admission queue under pol, or
+// removes it with nil (see Event.SetAdmission).
+func (e *FuncEvent0[R]) SetAdmission(pol *AdmitPolicy) { e.ev.SetAdmission(pol) }
+
 // Raise announces the event and returns the merged result.
 func (e *FuncEvent0[R]) Raise() (R, error) {
 	res, err := e.ev.Raise0()
@@ -306,6 +326,10 @@ func (e *FuncEvent1[A1, R]) Underlying() *Event { return e.ev }
 
 // Trace enables (or, with nil, disables) dispatch tracing for this event.
 func (e *FuncEvent1[A1, R]) Trace(t *Tracer) { e.ev.Trace(t) }
+
+// SetAdmission gives the event a bounded admission queue under pol, or
+// removes it with nil (see Event.SetAdmission).
+func (e *FuncEvent1[A1, R]) SetAdmission(pol *AdmitPolicy) { e.ev.SetAdmission(pol) }
 
 // Raise announces the event and returns the merged result.
 func (e *FuncEvent1[A1, R]) Raise(a1 A1) (R, error) {
@@ -351,6 +375,10 @@ func (e *FuncEvent2[A1, A2, R]) Underlying() *Event { return e.ev }
 
 // Trace enables (or, with nil, disables) dispatch tracing for this event.
 func (e *FuncEvent2[A1, A2, R]) Trace(t *Tracer) { e.ev.Trace(t) }
+
+// SetAdmission gives the event a bounded admission queue under pol, or
+// removes it with nil (see Event.SetAdmission).
+func (e *FuncEvent2[A1, A2, R]) SetAdmission(pol *AdmitPolicy) { e.ev.SetAdmission(pol) }
 
 // Raise announces the event and returns the merged result.
 func (e *FuncEvent2[A1, A2, R]) Raise(a1 A1, a2 A2) (R, error) {
