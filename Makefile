@@ -1,11 +1,27 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke faultcheck overloadcheck bench tables json
+.PHONY: check vet lint spinvet alloccheck build test race fuzz-smoke faultcheck overloadcheck bench tables json
 
-check: vet build test race
+check: vet lint build test race
 
 vet:
 	$(GO) vet ./...
+
+# Static verification of the SPIN safety attributes (paper §2.4): guard
+# purity (FUNCTIONAL), handler terminability (EPHEMERAL), and descriptor
+# consistency. Any diagnostic fails the build.
+lint: spinvet
+
+spinvet:
+	$(GO) run ./cmd/spinvet ./...
+
+# The standing allocation invariants from the fast-path, tracing, fault,
+# and overload PRs: a synchronous raise stays 0-alloc with tracing off,
+# with the fault policy on, and with admission enabled but no policy —
+# and trace recording itself never allocates. AllocsPerRun is unreliable
+# under the race detector, so this runs without -race.
+alloccheck:
+	$(GO) test -run 'ZeroAlloc|DoesNotAllocate' -count=1 ./...
 
 build:
 	$(GO) build ./...

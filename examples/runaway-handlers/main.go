@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -47,17 +48,24 @@ func main() {
 		fmt.Println("unexpected:", err)
 	}
 
-	// An EPHEMERAL handler that wedges on its third packet.
+	// An EPHEMERAL handler that wedges on its third packet: it blocks on a
+	// channel that nobody ever signals. Declaring EPHEMERAL means inviting
+	// termination, so the handler is written in the cancellation-aware
+	// CtxFn convention — when the watchdog's deadline fires, ctx is
+	// cancelled and the blocked delivery unwinds instead of leaking.
 	stuck := make(chan struct{})
 	defer close(stuck)
 	count := 0
 	eph := spin.Handler{
 		Proc: &rtti.Proc{Name: "Ext.Deliver", Module: module, Sig: sig,
 			Ephemeral: true},
-		Fn: func(clo any, args []any) any {
+		CtxFn: func(ctx context.Context, clo any, args []any) any {
 			count++
 			if count == 3 {
-				<-stuck // runaway
+				select {
+				case <-stuck: // would wedge forever...
+				case <-ctx.Done(): // ...but the watchdog terminates it
+				}
 			}
 			return nil
 		},

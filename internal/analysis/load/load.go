@@ -1,0 +1,258 @@
+// Package load is a standard-library-only package loader for the spinvet
+// static verifier: the moral equivalent of golang.org/x/tools/go/packages,
+// built from `go list`, go/parser, and go/types so the verifier runs in
+// hermetic environments where x/tools is unavailable.
+//
+// Module packages are parsed and type-checked from source — the analyzer
+// needs their function bodies for interprocedural purity proofs — while
+// dependencies outside the module (the standard library) are imported from
+// compiler export data produced by `go list -export`. Because every module
+// package is checked against the *types.Package its dependents import,
+// type objects are identical across the whole program, which is what lets
+// the analyzer key cross-package facts by *types.Func.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// PkgPath is the import path.
+	PkgPath string
+	// Dir is the package directory.
+	Dir string
+	// Files are the parsed source files (no test files).
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's results for Files.
+	Info *types.Info
+	// Errors collects non-fatal type errors encountered while checking
+	// this package (the analyzer skips packages that fail to check).
+	Errors []error
+	// DepOnly marks packages pulled in only as dependencies of the
+	// requested patterns; drivers typically analyze these for facts but
+	// report diagnostics only for matched packages.
+	DepOnly bool
+}
+
+// Program is a load result: the module's packages in dependency order plus
+// the shared file set and importer state needed to check extra sources
+// (the analyzer's test corpus) against the same program.
+type Program struct {
+	// Fset is the shared file set for every parsed file.
+	Fset *token.FileSet
+	// Packages lists the module packages in topological (dependencies
+	// first) order.
+	Packages []*Package
+	// ModulePath is the main module's path.
+	ModulePath string
+
+	byPath  map[string]*Package
+	exports map[string]string
+	gcImp   types.ImporterFrom
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error   *struct{ Err string }
+	DepOnly bool
+}
+
+// Load lists patterns (plus -deps) in dir, compiles export data, parses
+// every main-module package from source, and type-checks the lot in
+// dependency order.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// Cgo files would need the C toolchain in the loop; the module is pure
+	// Go, and with CGO_ENABLED=0 the standard library resolves to its pure
+	// Go variants, keeping export data complete.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	out, err := cmd.Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			msg = string(ee.Stderr)
+		}
+		return nil, fmt.Errorf("load: go list: %s", strings.TrimSpace(msg))
+	}
+
+	prog := &Program{
+		Fset:    token.NewFileSet(),
+		byPath:  make(map[string]*Package),
+		exports: make(map[string]string),
+	}
+	var mods []*listPkg
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if p.Error != nil && !p.Standard {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			prog.exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && p.Module.Main {
+			if prog.ModulePath == "" {
+				prog.ModulePath = p.Module.Path
+			}
+			cp := p
+			mods = append(mods, &cp)
+		}
+	}
+	if prog.ModulePath == "" {
+		return nil, fmt.Errorf("load: no main-module packages matched %v", patterns)
+	}
+	prog.gcImp = importer.ForCompiler(prog.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := prog.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	}).(types.ImporterFrom)
+
+	for _, lp := range topoSort(mods) {
+		pkg, err := prog.checkFromSource(lp)
+		if err != nil {
+			return nil, err
+		}
+		prog.byPath[lp.ImportPath] = pkg
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// Package returns the loaded module package with the given import path
+// (nil if the path was not part of the load).
+func (prog *Program) Package(path string) *Package { return prog.byPath[path] }
+
+// topoSort orders module packages dependencies-first. `go list -deps`
+// already emits an order close to this, but the contract is unspecified,
+// so sort explicitly (module-internal edges only; ties by path for
+// determinism).
+func topoSort(pkgs []*listPkg) []*listPkg {
+	byPath := make(map[string]*listPkg, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	var order []*listPkg
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *listPkg)
+	visit = func(p *listPkg) {
+		if state[p.ImportPath] != 0 {
+			return
+		}
+		state[p.ImportPath] = 1
+		deps := append([]string(nil), p.Imports...)
+		sort.Strings(deps)
+		for _, imp := range deps {
+			if d := byPath[imp]; d != nil {
+				visit(d)
+			}
+		}
+		state[p.ImportPath] = 2
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return order
+}
+
+// checkFromSource parses and type-checks one module package.
+func (prog *Program) checkFromSource(lp *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(prog.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{PkgPath: lp.ImportPath, Dir: lp.Dir, Files: files, DepOnly: lp.DepOnly}
+	tpkg, info, errs := prog.check(lp.ImportPath, files)
+	pkg.Types, pkg.Info, pkg.Errors = tpkg, info, errs
+	return pkg, nil
+}
+
+// CheckExtra type-checks files parsed against prog's file set as a
+// synthetic package (the analyzer's golden corpus lives outside the module
+// in testdata, where go list cannot see it). Imports resolve to the loaded
+// module packages first, then to export data.
+func (prog *Program) CheckExtra(path string, files []*ast.File) *Package {
+	tpkg, info, errs := prog.check(path, files)
+	return &Package{PkgPath: path, Files: files, Types: tpkg, Info: info, Errors: errs}
+}
+
+// check runs the type checker over files with the program's combined
+// importer.
+func (prog *Program) check(path string, files []*ast.File) (*types.Package, *types.Info, []error) {
+	var errs []error
+	conf := types.Config{
+		Importer: (*progImporter)(prog),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tpkg, _ := conf.Check(path, prog.Fset, files, info)
+	return tpkg, info, errs
+}
+
+// progImporter resolves module-internal imports to the source-checked
+// packages and everything else to export data.
+type progImporter Program
+
+func (pi *progImporter) Import(path string) (*types.Package, error) {
+	return pi.ImportFrom(path, "", 0)
+}
+
+func (pi *progImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := pi.byPath[path]; ok {
+		if p.Types == nil {
+			return nil, fmt.Errorf("load: import cycle or failed dependency %q", path)
+		}
+		return p.Types, nil
+	}
+	return pi.gcImp.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,82 @@
+package spinvet
+
+import "go/types"
+
+// The standard-library purity allowlist. Module code is proven from
+// source; the standard library is imported from export data (no bodies),
+// so functions used inside guards must be vouched for here. The list is
+// deliberately small and value-oriented: whole packages that only compute
+// over their inputs, plus a few formatting/atomic-read functions that are
+// observationally pure for a guard (allocation is permitted; mutation of
+// pre-existing state is not).
+
+// allowPkgs are packages whose every exported function and method is
+// side-effect free.
+var allowPkgs = map[string]bool{
+	"strings":      true,
+	"bytes":        true,
+	"unicode":      true,
+	"unicode/utf8": true,
+	"math":         true,
+	"math/bits":    true,
+	"strconv":      true,
+	"errors":       true,
+	"sort":         false, // sorts in place — explicitly not pure
+}
+
+// allowFuncs are individually vouched functions, by full path.
+var allowFuncs = map[string]bool{
+	"fmt.Sprintf":  true,
+	"fmt.Sprint":   true,
+	"fmt.Sprintln": true,
+	"fmt.Errorf":   true,
+
+	// Atomic loads read shared state without mutating it; guards are
+	// allowed to observe the world, just not to change it.
+	"sync/atomic.LoadInt32":   true,
+	"sync/atomic.LoadInt64":   true,
+	"sync/atomic.LoadUint32":  true,
+	"sync/atomic.LoadUint64":  true,
+	"sync/atomic.LoadPointer": true,
+
+	// Atomic-typed value loads (methods).
+	"(*sync/atomic.Bool).Load":    true,
+	"(*sync/atomic.Int32).Load":   true,
+	"(*sync/atomic.Int64).Load":   true,
+	"(*sync/atomic.Uint32).Load":  true,
+	"(*sync/atomic.Uint64).Load":  true,
+	"(*sync/atomic.Pointer).Load": true,
+	"(*sync/atomic.Value).Load":   true,
+
+	"time.Now":               true,
+	"(time.Time).After":      true,
+	"(time.Time).Before":     true,
+	"(time.Time).Sub":        true,
+	"(time.Time).UnixNano":   true,
+	"(time.Duration).String": true,
+}
+
+// allowPure reports whether fn is vouched pure by the standard-library
+// allowlist.
+func allowPure(fn *types.Func) bool {
+	fn = fn.Origin()
+	if allowFuncs[funcPath(fn)] {
+		return true
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		// Error.Error and friends from the universe scope: not allowlisted.
+		return false
+	}
+	if allowPkgs[pkg.Path()] {
+		// Exclude Builder/Reader-style mutating methods even in allowed
+		// packages: only value receivers and plain functions qualify.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if _, isPtr := sig.Recv().Type().(*types.Pointer); isPtr {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

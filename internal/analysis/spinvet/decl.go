@@ -1,0 +1,138 @@
+package spinvet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"spin/internal/analysis/load"
+	"spin/internal/rtti"
+)
+
+// checkSite runs the applicable analyzers over one obligation site. The
+// same site can produce diagnostics from more than one analyzer: an
+// impure guard is a spinpurity finding, and if its descriptor also
+// declares FUNCTIONAL, the contradiction is a spindecl finding on top.
+func (c *checker) checkSite(s *site) {
+	switch s.role {
+	case rtti.VetGuardFn:
+		c.checkGuardSite(s)
+	case rtti.VetHandlerFn, rtti.VetCtxHandlerFn:
+		c.checkHandlerSite(s)
+	}
+}
+
+// checkGuardSite enforces the FUNCTIONAL obligation and the descriptor
+// consistency rules for one guard position.
+func (c *checker) checkGuardSite(s *site) {
+	label := "guard"
+	if s.name != "" {
+		label = "guard " + s.name
+	}
+
+	var v *violation
+	if s.fn != nil {
+		assumed := c.constructorAssumedParams(s.pkg, s.encl)
+		v = c.exprPurity(s.pkg, s.fn, s.encl, assumed)
+		if v != nil {
+			c.report(PurityAnalyzer, v.pos, "%s is not provably FUNCTIONAL: %s", label, v.reason)
+		}
+	}
+
+	if s.proc == nil {
+		return
+	}
+	declared := procFlag(s.pkg, s.proc, "Functional")
+	if v != nil && declared {
+		c.report(DeclAnalyzer, s.proc.Pos(),
+			"%s declares FUNCTIONAL but its guard is provably impure (%s)", descLabel(s), v.reason)
+	}
+	if !declared {
+		c.report(DeclAnalyzer, s.proc.Pos(),
+			"%s does not declare Functional: true; the dispatcher will reject this installation at runtime", descLabel(s))
+	}
+	c.checkGuardSig(s)
+}
+
+// checkHandlerSite enforces declaration consistency and, when the site is
+// under a deadline, context cooperation.
+func (c *checker) checkHandlerSite(s *site) {
+	if s.proc != nil {
+		// A handler descriptor declaring FUNCTIONAL promises a
+		// side-effect-free handler; hold it to the guard standard.
+		if procFlag(s.pkg, s.proc, "Functional") && s.fn != nil {
+			if v := c.exprPurity(s.pkg, s.fn, s.encl, nil); v != nil {
+				c.report(DeclAnalyzer, s.proc.Pos(),
+					"%s declares FUNCTIONAL but the handler is provably impure (%s)", descLabel(s), v.reason)
+			}
+		}
+		// Ephemeral(...) at install requires Ephemeral: true in the
+		// descriptor, or the install fails at runtime.
+		if s.installedEphemeral && !procFlag(s.pkg, s.proc, "Ephemeral") {
+			c.report(DeclAnalyzer, s.proc.Pos(),
+				"%s is installed with Ephemeral(...) but does not declare Ephemeral: true; the dispatcher will reject this installation at runtime", descLabel(s))
+		}
+	}
+	if s.ephemeral {
+		c.checkEphemeral(s)
+	}
+}
+
+// checkGuardSig cross-checks the descriptor's declared signature against
+// the guard contract: the result type must be rtti.Bool.
+func (c *checker) checkGuardSig(s *site) {
+	sigExpr := litField(s.proc, "Sig")
+	if sigExpr == nil {
+		return
+	}
+	var resultExpr ast.Expr
+	switch x := ast.Unparen(sigExpr).(type) {
+	case *ast.CallExpr:
+		// rtti.Sig(result, args...)
+		if fn, _ := c.calleeOf(s.pkg, x); fn != nil && fn.Name() == "Sig" && len(x.Args) > 0 {
+			resultExpr = x.Args[0]
+		}
+	case *ast.CompositeLit:
+		// rtti.Signature{Result: ...}
+		if namedPath(typeOf(s.pkg, x)) == "spin/internal/rtti.Signature" {
+			resultExpr = litField(x, "Result")
+		}
+	}
+	if resultExpr == nil {
+		return
+	}
+	resultExpr = ast.Unparen(resultExpr)
+	if id, ok := resultExpr.(*ast.Ident); ok && id.Name == "nil" {
+		c.report(DeclAnalyzer, resultExpr.Pos(),
+			"%s declares no result type; guards must return BOOLEAN (rtti.Bool)", descLabel(s))
+		return
+	}
+	if obj := typeVarOf(s.pkg, resultExpr); obj != nil && obj.Name() != "Bool" {
+		c.report(DeclAnalyzer, resultExpr.Pos(),
+			"%s declares result %s; guards must return BOOLEAN (rtti.Bool)", descLabel(s), obj.Name())
+	}
+}
+
+// descLabel names a site's descriptor for diagnostics, degrading
+// gracefully when the declared Name is not a compile-time constant.
+func descLabel(s *site) string {
+	if s.name != "" {
+		return "descriptor " + s.name
+	}
+	return "this descriptor"
+}
+
+// typeVarOf resolves an expression referencing one of the rtti type
+// variables (rtti.Bool, rtti.Word, ...) to its variable object.
+func typeVarOf(pkg *load.Package, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+package spinvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spin/internal/analysis/load"
+)
+
+// checkEphemeral enforces context-cooperation on one handler site: every
+// loop must check ctx.Err()/ctx.Done() (or hand the context to a call),
+// and blocking operations — time.Sleep, bare channel operations, net
+// reads — must be guarded by the invocation context. A handler under the
+// obligation that takes no context at all is reported at its first loop
+// or blocking operation, since nothing in it can observe cancellation.
+func (c *checker) checkEphemeral(s *site) {
+	if s.fn == nil {
+		return
+	}
+	lit, fn := c.resolveFuncExpr(s.pkg, s.fn, s.encl)
+	var body *ast.BlockStmt
+	var ftype *ast.FuncType
+	pkg := s.pkg
+	switch {
+	case lit != nil:
+		body, ftype = lit.Body, lit.Type
+	case fn != nil:
+		di := c.decls[fn]
+		if di == nil || di.decl.Body == nil {
+			return // no source to check; runtime watchdog still applies
+		}
+		body, ftype = di.decl.Body, di.decl.Type
+		pkg = di.pkg
+	default:
+		return
+	}
+
+	name := s.name
+	if name == "" {
+		name = "handler"
+	} else {
+		name = "handler " + name
+	}
+
+	ctxVars := contextParams(pkg, ftype)
+	e := &ephWalk{c: c, pkg: pkg, ctx: ctxVars, site: s, name: name}
+	if len(ctxVars) == 0 {
+		// No context parameter: the handler cannot observe cancellation.
+		// Report the first construct the watchdog would have to interrupt.
+		if pos, what := firstUncooperative(pkg, body); pos.IsValid() {
+			c.report(EphemeralAnalyzer, pos,
+				"%s is %s but takes no context.Context: this %s cannot observe cancellation (accept a ctx via CtxFn/InstallCtx and check ctx.Err()/ctx.Done())",
+				name, s.ephemeralReason, what)
+		}
+		return
+	}
+	e.walk(body)
+}
+
+// ephWalk carries the cooperative-cancellation analysis over one handler
+// body.
+type ephWalk struct {
+	c    *checker
+	pkg  *load.Package
+	ctx  map[types.Object]bool
+	site *site
+	name string
+	// selDepth tracks enclosing select statements that include a
+	// <-ctx.Done() case; channel operations under one are guarded.
+	doneSelect int
+}
+
+func (e *ephWalk) walk(n ast.Node) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.ForStmt:
+			if !e.containsCtxCheck(v) {
+				e.c.report(EphemeralAnalyzer, v.Pos(),
+					"%s is %s but this loop never checks ctx.Err()/ctx.Done(): the deadline watchdog cannot terminate it",
+					e.name, e.site.ephemeralReason)
+			}
+		case *ast.RangeStmt:
+			if t := typeOf(e.pkg, v.X); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Chan, *types.Signature:
+					// Unbounded iteration sources; slices/maps/ints
+					// terminate on their own.
+					if !e.containsCtxCheck(v) {
+						e.c.report(EphemeralAnalyzer, v.Pos(),
+							"%s is %s but this range over an unbounded source never checks ctx.Err()/ctx.Done()",
+							e.name, e.site.ephemeralReason)
+					}
+				}
+			}
+		case *ast.SelectStmt:
+			if e.selectHasDoneCase(v) {
+				e.doneSelect++
+				for _, clause := range v.Body.List {
+					e.walk(clause)
+				}
+				e.doneSelect--
+				return false
+			}
+			// A select with a default case cannot block.
+			for _, clause := range v.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					return true
+				}
+			}
+			e.c.report(EphemeralAnalyzer, v.Pos(),
+				"%s is %s but this select has no <-ctx.Done() case: it can block past the deadline",
+				e.name, e.site.ephemeralReason)
+		case *ast.SendStmt:
+			if e.doneSelect == 0 && !e.inCommClause(n, v) {
+				e.c.report(EphemeralAnalyzer, v.Pos(),
+					"%s is %s but this channel send is not guarded by the invocation context (select on it together with <-ctx.Done())",
+					e.name, e.site.ephemeralReason)
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW && e.doneSelect == 0 && !e.isDoneRecv(v) && !e.inCommClause(n, v) {
+				e.c.report(EphemeralAnalyzer, v.Pos(),
+					"%s is %s but this channel receive is not guarded by the invocation context (select on it together with <-ctx.Done())",
+					e.name, e.site.ephemeralReason)
+			}
+		case *ast.CallExpr:
+			e.checkBlockingCall(v)
+		}
+		return true
+	})
+}
+
+// inCommClause reports whether op is the communication operation of a
+// select case somewhere under root (those are re-walked explicitly with
+// doneSelect tracking, so the generic pass must not double-report them).
+func (e *ephWalk) inCommClause(root ast.Node, op ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if cc, ok := n.(*ast.CommClause); ok && cc.Comm != nil {
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				if m == op {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// checkBlockingCall reports known unbounded blocking calls not guarded by
+// the context: time.Sleep and net reads/accepts.
+func (e *ephWalk) checkBlockingCall(call *ast.CallExpr) {
+	fn, path := e.c.calleeOf(e.pkg, call)
+	if path == "" {
+		return
+	}
+	if path == "time.Sleep" {
+		e.c.report(EphemeralAnalyzer, call.Pos(),
+			"%s is %s but calls time.Sleep, which ignores cancellation (use a timer in a select with <-ctx.Done())",
+			e.name, e.site.ephemeralReason)
+		return
+	}
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "net" {
+		switch fn.Name() {
+		case "Read", "ReadFrom", "ReadFromUDP", "ReadMsgUDP", "Accept", "AcceptTCP", "AcceptUnix":
+			e.c.report(EphemeralAnalyzer, call.Pos(),
+				"%s is %s but %s can block indefinitely (set a deadline from ctx before the call)",
+				e.name, e.site.ephemeralReason, path)
+		}
+	}
+}
+
+// containsCtxCheck reports whether the node contains a use of the context
+// that lets cancellation in: ctx.Err()/ctx.Done()/ctx.Deadline(), or any
+// call taking the context as an argument (handing it onward counts).
+func (e *ephWalk) containsCtxCheck(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && e.isCtxExpr(sel.X) {
+			switch sel.Sel.Name {
+			case "Err", "Done", "Deadline", "Value":
+				found = true
+				return false
+			}
+		}
+		for _, arg := range call.Args {
+			if e.isCtxExpr(arg) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// selectHasDoneCase reports whether a select includes a case receiving
+// from ctx.Done().
+func (e *ephWalk) selectHasDoneCase(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch stmt := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = stmt.X
+		case *ast.AssignStmt:
+			if len(stmt.Rhs) == 1 {
+				recv = stmt.Rhs[0]
+			}
+		}
+		if u, ok := ast.Unparen(recv).(*ast.UnaryExpr); ok && u.Op == token.ARROW && e.isDoneCall(u.X) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDoneRecv reports whether the receive expression is <-ctx.Done()
+// itself (which is a cancellation check, not an unguarded block).
+func (e *ephWalk) isDoneRecv(u *ast.UnaryExpr) bool {
+	return e.isDoneCall(u.X)
+}
+
+// isDoneCall reports whether the expression is a call of Done() on the
+// invocation context.
+func (e *ephWalk) isDoneCall(x ast.Expr) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return e.isCtxExpr(sel.X)
+}
+
+// isCtxExpr reports whether the expression's static type is
+// context.Context (any context value counts — a derived context is as
+// good as the parameter).
+func (e *ephWalk) isCtxExpr(x ast.Expr) bool {
+	t := typeOf(e.pkg, x)
+	return t != nil && namedPath(t) == "context.Context"
+}
+
+// contextParams collects the declared parameters of type context.Context.
+func contextParams(pkg *load.Package, ftype *ast.FuncType) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if ftype == nil || ftype.Params == nil {
+		return out
+	}
+	for _, field := range ftype.Params.List {
+		if t := typeOf(pkg, field.Type); t != nil && namedPath(t) == "context.Context" {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// firstUncooperative finds the first loop or blocking construct in a body
+// with no context access at all, for the "takes no context" diagnostic.
+func firstUncooperative(pkg *load.Package, body *ast.BlockStmt) (token.Pos, string) {
+	var pos token.Pos
+	var what string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.ForStmt:
+			pos, what = v.Pos(), "loop"
+		case *ast.RangeStmt:
+			if t := typeOf(pkg, v.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					pos, what = v.Pos(), "range over a channel"
+				}
+			}
+		case *ast.SendStmt:
+			pos, what = v.Pos(), "channel send"
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				pos, what = v.Pos(), "channel receive"
+			}
+		case *ast.SelectStmt:
+			for _, clause := range v.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					return true // has default: non-blocking
+				}
+			}
+			pos, what = v.Pos(), "select"
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" && sel.Sel.Name == "Sleep" {
+					if _, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
+						pos, what = v.Pos(), "time.Sleep call"
+					}
+				}
+			}
+		}
+		return !pos.IsValid()
+	})
+	if !pos.IsValid() {
+		return token.NoPos, ""
+	}
+	return pos, what
+}

@@ -1,0 +1,388 @@
+package spinvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spin/internal/analysis/load"
+)
+
+// violation is the first impurity found in a function body.
+type violation struct {
+	pos    token.Pos
+	reason string
+}
+
+// purityFact is the memoized interprocedural summary for one function —
+// the in-process equivalent of an x/tools analysis fact exported across
+// packages.
+type purityFact struct {
+	pure   bool
+	reason string // why impure (empty when pure)
+	pos    token.Pos
+}
+
+// funcFact computes (or returns the memoized) purity summary for fn.
+// Cycles resolve optimistically: a function on the in-progress stack is
+// assumed pure for the recursive query, which is sound because every body
+// in the cycle is still fully walked in its own frame, so any real
+// violation is reported from the frame that contains it.
+func (c *checker) funcFact(fn *types.Func) *purityFact {
+	fn = fn.Origin()
+	if f, ok := c.facts[fn]; ok {
+		return f
+	}
+	if c.pureAnnotated[fn] || allowPure(fn) {
+		f := &purityFact{pure: true}
+		c.facts[fn] = f
+		return f
+	}
+	di := c.decls[fn]
+	if di == nil {
+		f := &purityFact{pure: false, reason: "has no analyzable source"}
+		c.facts[fn] = f
+		return f
+	}
+	if di.decl.Body == nil {
+		f := &purityFact{pure: false, reason: "is declared without a Go body", pos: di.decl.Pos()}
+		c.facts[fn] = f
+		return f
+	}
+	if c.inProgress[fn] {
+		return &purityFact{pure: true} // optimistic; not memoized
+	}
+	c.inProgress[fn] = true
+	v := c.analyzeBody(di.decl, di.decl.Body, di.pkg, nil)
+	delete(c.inProgress, fn)
+	f := &purityFact{pure: v == nil}
+	if v != nil {
+		f.reason = v.reason
+		f.pos = v.pos
+	}
+	c.facts[fn] = f
+	return f
+}
+
+// exprPurity analyzes the function behind a guard-position expression.
+// assumed marks parameters (of an enclosing guard constructor) whose calls
+// are taken as pure because the constructor's own call sites prove them.
+func (c *checker) exprPurity(pkg *load.Package, e ast.Expr, encl *ast.FuncDecl, assumed map[*types.Var]bool) *violation {
+	lit, fn := c.resolveFuncExpr(pkg, e, encl)
+	switch {
+	case lit != nil:
+		return c.analyzeBody(lit, lit.Body, pkg, assumed)
+	case fn != nil:
+		if f := c.funcFact(fn); !f.pure {
+			pos := f.pos
+			if !pos.IsValid() {
+				pos = e.Pos()
+			}
+			return &violation{pos: pos, reason: fn.Name() + " " + f.reason}
+		}
+		return nil
+	default:
+		return &violation{pos: e.Pos(), reason: "is an opaque function value the analyzer cannot resolve"}
+	}
+}
+
+// analyzeBody walks one function body (scope delimits what counts as
+// local) and returns the first impurity, or nil if the body is provably
+// side-effect free.
+func (c *checker) analyzeBody(scope ast.Node, body *ast.BlockStmt, pkg *load.Package, assumed map[*types.Var]bool) *violation {
+	w := &purityWalk{c: c, pkg: pkg, scope: scope, assumed: assumed, alloc: make(map[types.Object]bool)}
+	w.collectAllocs(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if w.v != nil {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal only matters if it is called or escapes;
+			// its body is still part of what the guard can execute, so
+			// walk it under the same scope (its definitions are within
+			// scope's range and count as local).
+			return true
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				if v := w.checkWrite(lhs); v != nil {
+					w.v = v
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := w.checkWrite(x.X); v != nil {
+				w.v = v
+				return false
+			}
+		case *ast.SendStmt:
+			w.v = &violation{pos: x.Pos(), reason: "sends on a channel"}
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				w.v = &violation{pos: x.Pos(), reason: "receives from a channel"}
+				return false
+			}
+		case *ast.GoStmt:
+			w.v = &violation{pos: x.Pos(), reason: "starts a goroutine"}
+			return false
+		case *ast.DeferStmt:
+			w.v = &violation{pos: x.Pos(), reason: "defers a call (side effect on unwind)"}
+			return false
+		case *ast.SelectStmt:
+			w.v = &violation{pos: x.Pos(), reason: "selects on channel operations"}
+			return false
+		case *ast.RangeStmt:
+			if t := typeOf(pkg, x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					w.v = &violation{pos: x.Pos(), reason: "ranges over a channel"}
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if v := w.checkCall(x); v != nil {
+				w.v = v
+				return false
+			}
+		}
+		return true
+	})
+	return w.v
+}
+
+// purityWalk carries the per-body analysis state.
+type purityWalk struct {
+	c       *checker
+	pkg     *load.Package
+	scope   ast.Node
+	assumed map[*types.Var]bool
+	// alloc records local variables bound to fresh allocations (composite
+	// literals, &lit, new, make): writes through them cannot reach state
+	// that existed before the guard ran.
+	alloc map[types.Object]bool
+	v     *violation
+}
+
+// collectAllocs pre-scans the body for locals initialized (only) with
+// fresh allocations. A name that is ever rebound to something else loses
+// the exemption.
+func (w *purityWalk) collectAllocs(body *ast.BlockStmt) {
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		obj := w.pkg.Info.Defs[id]
+		if obj == nil {
+			return
+		}
+		if isAllocExpr(w.pkg, rhs) {
+			w.alloc[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok != token.DEFINE || len(x.Lhs) != len(x.Rhs) {
+				// Rebinding via plain assignment is caught by checkWrite;
+				// multi-value defines are never allocations.
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					record(id, x.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(x.Names) == len(x.Values) {
+				for i, name := range x.Names {
+					record(name, x.Values[i])
+				}
+			} else if len(x.Values) == 0 {
+				// var x T — zero value is fresh (value types only; a
+				// zero-valued pointer/slice is nil and writes through it
+				// would panic, not alias).
+				for _, name := range x.Names {
+					if obj := w.pkg.Info.Defs[name]; obj != nil {
+						w.alloc[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isAllocExpr reports whether e evaluates to storage that did not exist
+// before this statement ran.
+func isAllocExpr(pkg *load.Package, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "new" || b.Name() == "make"
+			}
+		}
+	}
+	return false
+}
+
+// localTo reports whether obj is declared inside the analyzed scope.
+func (w *purityWalk) localTo(obj types.Object) bool {
+	return obj.Pos().IsValid() && obj.Pos() >= w.scope.Pos() && obj.Pos() < w.scope.End()
+}
+
+// checkWrite validates one assignment target: writes must land on local
+// storage, and indirect writes (through pointers, slices, maps) only on
+// locally allocated storage.
+func (w *purityWalk) checkWrite(lhs ast.Expr) *violation {
+	indirect := false
+	e := lhs
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			indirect = true
+			e = x.X
+		case *ast.IndexExpr:
+			if t := typeOf(w.pkg, x.X); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Array:
+					// Indexing a value array is direct storage.
+				default:
+					indirect = true // slice, map, pointer-to-array
+				}
+			} else {
+				indirect = true
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			if t := typeOf(w.pkg, x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Pointer); ok {
+					indirect = true
+				}
+			}
+			e = x.X
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil
+			}
+			obj := w.pkg.Info.Uses[x]
+			if obj == nil {
+				obj = w.pkg.Info.Defs[x]
+			}
+			if obj == nil {
+				return &violation{pos: x.Pos(), reason: "writes through an unresolved name"}
+			}
+			if !w.localTo(obj) {
+				return &violation{pos: lhs.Pos(), reason: "writes " + obj.Name() + ", which is declared outside the guard"}
+			}
+			if indirect && !w.alloc[obj] {
+				return &violation{pos: lhs.Pos(), reason: "writes through " + obj.Name() + ", which may alias state outside the guard"}
+			}
+			return nil
+		default:
+			return &violation{pos: lhs.Pos(), reason: "writes through a computed reference"}
+		}
+	}
+}
+
+// checkCall validates one call: conversions and pure builtins pass;
+// impure builtins, dynamic function values, interface methods, and callees
+// without a pure summary fail.
+func (w *purityWalk) checkCall(call *ast.CallExpr) *violation {
+	if tv, ok := w.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return nil // conversion
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := w.pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "panic":
+				return &violation{pos: call.Pos(), reason: "may panic"}
+			case "delete":
+				return &violation{pos: call.Pos(), reason: "deletes a map key"}
+			case "close":
+				return &violation{pos: call.Pos(), reason: "closes a channel"}
+			case "print", "println":
+				return &violation{pos: call.Pos(), reason: "writes to standard error"}
+			case "recover":
+				return &violation{pos: call.Pos(), reason: "calls recover"}
+			case "copy":
+				if len(call.Args) > 0 {
+					return w.checkWrite(call.Args[0])
+				}
+				return nil
+			default:
+				// len, cap, append, new, make, min, max, complex, real,
+				// imag, unsafe.* sizes: no effect on pre-existing state.
+				// (append's result must still be *stored* somewhere, and
+				// the store is what checkWrite validates.)
+				return nil
+			}
+		}
+	}
+
+	fn, _ := w.c.calleeOf(w.pkg, call)
+	if fn == nil {
+		// A dynamic function value. Constructor parameters proven at
+		// their own call sites are assumed pure.
+		if obj := calleeVar(w.pkg, call); obj != nil {
+			if w.assumed[obj] {
+				return nil
+			}
+			if w.localTo(obj) {
+				// Calling a locally defined function value: resolve its
+				// single-assignment initializer if we can see one.
+				return &violation{pos: call.Pos(), reason: "calls the function value " + obj.Name() + ", which is not provably side-effect free"}
+			}
+			return &violation{pos: call.Pos(), reason: "calls the captured function value " + obj.Name() + ", which is not provably side-effect free"}
+		}
+		return &violation{pos: call.Pos(), reason: "calls an opaque function value"}
+	}
+
+	// Interface-dispatched methods have no single body to analyze.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) && !allowPure(fn) {
+			return &violation{pos: call.Pos(), reason: "calls " + fn.Name() + " through an interface, which is not provably side-effect free"}
+		}
+	}
+
+	if f := w.c.funcFact(fn); !f.pure {
+		reason := f.reason
+		if len(reason) > 160 {
+			reason = reason[:160] + "…"
+		}
+		return &violation{pos: call.Pos(), reason: "calls " + fn.Name() + ", which " + reason}
+	}
+	return nil
+}
+
+// calleeVar returns the *types.Var behind a dynamic call's callee
+// expression, if it is a plain variable reference.
+func calleeVar(pkg *load.Package, call *ast.CallExpr) *types.Var {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[fun].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		} else if v, ok := pkg.Info.Uses[fun.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

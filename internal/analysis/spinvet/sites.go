@@ -1,0 +1,513 @@
+package spinvet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spin/internal/analysis/load"
+	"spin/internal/rtti"
+)
+
+// Paths of the dispatch types the analyzer recognizes structurally.
+const (
+	guardTypePath   = "spin/internal/dispatch.Guard"
+	handlerTypePath = "spin/internal/dispatch.Handler"
+	procTypePath    = "spin/internal/rtti.Proc"
+	eventInstall    = "(*spin/internal/dispatch.Event).Install"
+)
+
+// site is one obligation-carrying position found in the source: a function
+// expression plus the role the API assigns it, with enough context to
+// resolve local names and cross-check the paired rtti descriptor.
+type site struct {
+	pkg  *load.Package
+	role rtti.VetRole
+	// fn is the function expression at the obligation position (may need
+	// local resolution; nil when only declaration checks apply).
+	fn ast.Expr
+	// pos anchors diagnostics when fn has no better position.
+	pos token.Pos
+	// encl is the function declaration lexically containing the site
+	// (nil at package level); local single-assignment names resolve
+	// within it.
+	encl *ast.FuncDecl
+	// proc is the resolved rtti.Proc composite literal paired with the
+	// function, when one is syntactically reachable.
+	proc *ast.CompositeLit
+	// name is the descriptor's declared Name, for diagnostics.
+	name string
+	// ephemeral marks a context-cooperation obligation (declared
+	// EPHEMERAL, installed with Ephemeral()/WithDeadline(), or a
+	// CtxFn/InstallCtx registration).
+	ephemeral bool
+	// installedEphemeral marks that an Ephemeral(...) install option was
+	// seen at the install site (for descriptor consistency checking).
+	installedEphemeral bool
+	// ephemeralReason names what put the site under the obligation.
+	ephemeralReason string
+}
+
+// extractSites walks one package and returns every obligation position in
+// it. Handler literals are indexed in c.handlerSites first so that
+// Install-call processing (which attaches deadline obligations) can find
+// them regardless of walk order.
+func (c *checker) extractSites(pkg *load.Package) []*site {
+	var sites []*site
+	var calls []struct {
+		call *ast.CallExpr
+		encl *ast.FuncDecl
+	}
+
+	for _, file := range pkg.Files {
+		walkWithEncl(file, nil, func(n ast.Node, encl *ast.FuncDecl) {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				switch namedPath(typeOf(pkg, x)) {
+				case guardTypePath:
+					if s := c.guardLiteralSite(pkg, x, encl); s != nil {
+						sites = append(sites, s)
+					}
+				case handlerTypePath:
+					if s := c.handlerLiteralSite(pkg, x, encl); s != nil {
+						sites = append(sites, s)
+						c.handlerSites[x] = s
+					}
+				}
+			case *ast.CallExpr:
+				calls = append(calls, struct {
+					call *ast.CallExpr
+					encl *ast.FuncDecl
+				}{x, encl})
+			}
+		})
+	}
+
+	for _, cc := range calls {
+		sites = append(sites, c.callSiteObligations(pkg, cc.call, cc.encl)...)
+	}
+	return sites
+}
+
+// walkWithEncl is a pre-order walk that reports, for each node, the
+// innermost enclosing *ast.FuncDecl.
+func walkWithEncl(n ast.Node, encl *ast.FuncDecl, fn func(ast.Node, *ast.FuncDecl)) {
+	if n == nil {
+		return
+	}
+	if fd, ok := n.(*ast.FuncDecl); ok {
+		fn(n, fd)
+		if fd.Body != nil {
+			walkChildren(fd.Body, fd, fn)
+		}
+		return
+	}
+	fn(n, encl)
+	walkChildren(n, encl, fn)
+}
+
+func walkChildren(n ast.Node, encl *ast.FuncDecl, fn func(ast.Node, *ast.FuncDecl)) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == nil || child == n {
+			return child == n
+		}
+		if fd, ok := child.(*ast.FuncDecl); ok {
+			walkWithEncl(fd, encl, fn)
+			return false
+		}
+		fn(child, encl)
+		return true
+	})
+}
+
+// guardLiteralSite builds the site for a dispatch.Guard composite literal.
+// Pred-only guards are FUNCTIONAL by construction and carry no obligation.
+func (c *checker) guardLiteralSite(pkg *load.Package, lit *ast.CompositeLit, encl *ast.FuncDecl) *site {
+	fnExpr := litField(lit, "Fn")
+	procExpr := litField(lit, "Proc")
+	if fnExpr == nil && procExpr == nil {
+		return nil
+	}
+	s := &site{pkg: pkg, role: rtti.VetGuardFn, fn: fnExpr, pos: lit.Pos(), encl: encl}
+	c.attachProc(s, procExpr)
+	return s
+}
+
+// handlerLiteralSite builds the site for a dispatch.Handler composite
+// literal. A CtxFn implementation, or a descriptor declaring EPHEMERAL,
+// puts the handler under the context-cooperation obligation immediately;
+// Ephemeral()/WithDeadline() install options are attached later by the
+// Install-call pass.
+func (c *checker) handlerLiteralSite(pkg *load.Package, lit *ast.CompositeLit, encl *ast.FuncDecl) *site {
+	fnExpr := litField(lit, "Fn")
+	ctxExpr := litField(lit, "CtxFn")
+	procExpr := litField(lit, "Proc")
+	if fnExpr == nil && ctxExpr == nil && procExpr == nil {
+		return nil
+	}
+	s := &site{pkg: pkg, role: rtti.VetHandlerFn, fn: fnExpr, pos: lit.Pos(), encl: encl}
+	if ctxExpr != nil {
+		s.role = rtti.VetCtxHandlerFn
+		s.fn = ctxExpr
+		s.ephemeral = true
+		s.ephemeralReason = "registered through CtxFn"
+	}
+	c.attachProc(s, procExpr)
+	if s.proc != nil && procFlag(s.pkg, s.proc, "Ephemeral") {
+		s.ephemeral = true
+		if s.ephemeralReason == "" {
+			s.ephemeralReason = "declared EPHEMERAL"
+		}
+	}
+	return s
+}
+
+// attachProc resolves and records the rtti.Proc literal paired with a
+// site, following address-of and single-assignment local names.
+func (c *checker) attachProc(s *site, procExpr ast.Expr) {
+	if procExpr == nil {
+		return
+	}
+	lit := c.resolveProcLit(s.pkg, procExpr, s.encl)
+	if lit == nil {
+		return
+	}
+	s.proc = lit
+	s.name = procString(s.pkg, lit, "Name")
+}
+
+// callSiteObligations inspects one call expression for obligations: typed
+// wrapper sites from the rtti table, guard-constructor calls, and
+// dispatch.Event.Install option processing.
+func (c *checker) callSiteObligations(pkg *load.Package, call *ast.CallExpr, encl *ast.FuncDecl) []*site {
+	fn, path := c.calleeOf(pkg, call)
+	if path == "" {
+		return nil
+	}
+
+	if vs, ok := c.callSites[path]; ok && vs.Arg >= 0 && vs.Arg < len(call.Args) {
+		s := &site{pkg: pkg, role: vs.Role, fn: call.Args[vs.Arg], pos: call.Args[vs.Arg].Pos(), encl: encl}
+		switch vs.Role {
+		case rtti.VetCtxHandlerFn:
+			s.ephemeral = true
+			s.ephemeralReason = "registered through InstallCtx"
+		case rtti.VetHandlerFn:
+			c.applyInstallOpts(pkg, s, call.Args[vs.Arg+1:])
+		}
+		return []*site{s}
+	}
+
+	// The untyped install path: associate options with the Handler
+	// literal's site.
+	if path == eventInstall && len(call.Args) > 0 {
+		if lit := c.resolveHandlerLit(pkg, call.Args[0], encl); lit != nil {
+			if s := c.handlerSites[lit]; s != nil {
+				c.applyInstallOpts(pkg, s, call.Args[1:])
+			}
+		}
+		return nil
+	}
+
+	// The structural rule: calls to guard constructors put every
+	// function-typed argument under the FUNCTIONAL obligation.
+	if fn != nil && c.isGuardConstructor(fn) {
+		var sites []*site
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil {
+			return nil
+		}
+		for i, arg := range call.Args {
+			if i >= sig.Params().Len() {
+				break
+			}
+			if _, ok := sig.Params().At(i).Type().Underlying().(*types.Signature); ok {
+				sites = append(sites, &site{pkg: pkg, role: rtti.VetGuardFn, fn: arg, pos: arg.Pos(), encl: encl})
+			}
+		}
+		return sites
+	}
+	return nil
+}
+
+// applyInstallOpts scans install options for Ephemeral()/WithDeadline(),
+// which attach the context-cooperation obligation to the handler.
+func (c *checker) applyInstallOpts(pkg *load.Package, s *site, opts []ast.Expr) {
+	for _, opt := range opts {
+		call, ok := ast.Unparen(opt).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		_, path := c.calleeOf(pkg, call)
+		name := path[strings.LastIndexByte(path, '.')+1:]
+		if !optionPackage(path) {
+			continue
+		}
+		switch name {
+		case "Ephemeral":
+			s.ephemeral = true
+			s.installedEphemeral = true
+			if s.ephemeralReason == "" {
+				s.ephemeralReason = "installed with Ephemeral(...)"
+			}
+		case "WithDeadline":
+			s.ephemeral = true
+			if s.ephemeralReason == "" {
+				s.ephemeralReason = "installed with WithDeadline(...)"
+			}
+		}
+	}
+}
+
+// optionPackage reports whether a normalized callee path belongs to the
+// packages whose install options we recognize (the dispatch core and its
+// spin re-exports).
+func optionPackage(path string) bool {
+	return strings.HasPrefix(path, "spin/internal/dispatch.") || strings.HasPrefix(path, "spin.")
+}
+
+// isGuardConstructor reports whether fn returns a dispatch.Guard — the
+// structural marker for guard-building wrappers.
+func (c *checker) isGuardConstructor(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if namedPath(sig.Results().At(i).Type()) == guardTypePath {
+			return true
+		}
+	}
+	return false
+}
+
+// constructorAssumedParams returns the function-typed parameters of encl
+// when encl is a guard constructor: calls to them inside the constructed
+// guard are assumed pure, because every call site of the constructor puts
+// the corresponding arguments under the FUNCTIONAL obligation.
+func (c *checker) constructorAssumedParams(pkg *load.Package, encl *ast.FuncDecl) map[*types.Var]bool {
+	if encl == nil || encl.Name == nil {
+		return nil
+	}
+	obj, ok := pkg.Info.Defs[encl.Name].(*types.Func)
+	if !ok || !c.isGuardConstructor(obj) {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	assumed := make(map[*types.Var]bool)
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if _, ok := p.Type().Underlying().(*types.Signature); ok {
+			assumed[p] = true
+		}
+	}
+	if len(assumed) == 0 {
+		return nil
+	}
+	return assumed
+}
+
+// calleeOf resolves a call's static callee: a *types.Func when one exists,
+// plus the normalized path used for table lookups. Package-level function
+// variables (the spin package's re-exports) resolve by path only.
+func (c *checker) calleeOf(pkg *load.Package, call *ast.CallExpr) (*types.Func, string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fun].(type) {
+		case *types.Func:
+			return obj.Origin(), funcPath(obj)
+		case *types.Var:
+			if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return nil, obj.Pkg().Path() + "." + obj.Name()
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn.Origin(), funcPath(fn)
+			}
+			return nil, ""
+		}
+		// Qualified identifier: pkg.F or pkg.Var.
+		switch obj := pkg.Info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			return obj.Origin(), funcPath(obj)
+		case *types.Var:
+			if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return nil, obj.Pkg().Path() + "." + obj.Name()
+			}
+		}
+	case *ast.IndexExpr: // explicitly instantiated generic: F[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+				return fn.Origin(), funcPath(fn)
+			}
+		}
+	}
+	return nil, ""
+}
+
+// resolveHandlerLit finds the dispatch.Handler composite literal behind an
+// expression, following single-assignment locals.
+func (c *checker) resolveHandlerLit(pkg *load.Package, e ast.Expr, encl *ast.FuncDecl) *ast.CompositeLit {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		if namedPath(typeOf(pkg, x)) == handlerTypePath {
+			return x
+		}
+	case *ast.Ident:
+		if init := resolveLocal(pkg, x, encl); init != nil {
+			return c.resolveHandlerLit(pkg, init, encl)
+		}
+	}
+	return nil
+}
+
+// resolveProcLit finds the rtti.Proc composite literal behind an
+// expression (usually &rtti.Proc{...}, possibly via a local name).
+func (c *checker) resolveProcLit(pkg *load.Package, e ast.Expr, encl *ast.FuncDecl) *ast.CompositeLit {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return c.resolveProcLit(pkg, x.X, encl)
+		}
+	case *ast.CompositeLit:
+		if namedPath(typeOf(pkg, x)) == procTypePath {
+			return x
+		}
+	case *ast.Ident:
+		if init := resolveLocal(pkg, x, encl); init != nil {
+			return c.resolveProcLit(pkg, init, encl)
+		}
+	}
+	return nil
+}
+
+// resolveFuncExpr reduces a function expression to either a *ast.FuncLit
+// or a *types.Func; nil, nil means the value is opaque to analysis.
+func (c *checker) resolveFuncExpr(pkg *load.Package, e ast.Expr, encl *ast.FuncDecl) (*ast.FuncLit, *types.Func) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.FuncLit:
+		return x, nil
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[x].(type) {
+		case *types.Func:
+			return nil, obj.Origin()
+		case *types.Var:
+			if init := resolveLocal(pkg, x, encl); init != nil {
+				return c.resolveFuncExpr(pkg, init, encl)
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[x]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return nil, fn.Origin()
+			}
+			return nil, nil
+		}
+		if fn, ok := pkg.Info.Uses[x.Sel].(*types.Func); ok {
+			return nil, fn.Origin()
+		}
+	}
+	return nil, nil
+}
+
+// resolveLocal returns the single initializing expression of a local
+// name within encl, or nil when the name is reassigned, shadowed, or not
+// locally defined.
+func resolveLocal(pkg *load.Package, id *ast.Ident, encl *ast.FuncDecl) ast.Expr {
+	if encl == nil || encl.Body == nil {
+		return nil
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	var init ast.Expr
+	reassigned := false
+	ast.Inspect(encl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if x.Tok == token.DEFINE && pkg.Info.Defs[lid] == obj {
+					if len(x.Lhs) == len(x.Rhs) {
+						init = x.Rhs[i]
+					}
+				} else if x.Tok != token.DEFINE && pkg.Info.Uses[lid] == obj {
+					reassigned = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				if pkg.Info.Defs[name] == obj && i < len(x.Values) {
+					init = x.Values[i]
+				}
+			}
+		}
+		return true
+	})
+	if reassigned {
+		return nil
+	}
+	return init
+}
+
+// litField returns the value of a named field in a keyed composite
+// literal.
+func litField(lit *ast.CompositeLit, name string) ast.Expr {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == name {
+			return kv.Value
+		}
+	}
+	return nil
+}
+
+// procFlag reads a boolean descriptor field as a compile-time constant.
+func procFlag(pkg *load.Package, lit *ast.CompositeLit, field string) bool {
+	v := litField(lit, field)
+	if v == nil {
+		return false
+	}
+	tv, ok := pkg.Info.Types[v]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Bool {
+		return false
+	}
+	return constant.BoolVal(tv.Value)
+}
+
+// procString reads a string descriptor field as a compile-time constant.
+func procString(pkg *load.Package, lit *ast.CompositeLit, field string) string {
+	v := litField(lit, field)
+	if v == nil {
+		return ""
+	}
+	tv, ok := pkg.Info.Types[v]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(tv.Value)
+}
+
+// typeOf returns the type of an expression in pkg (nil when unchecked).
+func typeOf(pkg *load.Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

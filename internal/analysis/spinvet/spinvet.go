@@ -1,0 +1,314 @@
+// Package spinvet statically verifies the two safety attributes the SPIN
+// dispatcher trusts extensions to declare: FUNCTIONAL (guards are
+// side-effect free, paper §2.3/§2.4) and EPHEMERAL (handlers invite
+// termination, §2.6). In SPIN the Modula-3 compiler proved both before the
+// dispatcher ever saw a descriptor; in this Go reproduction the rtti
+// descriptors are self-declared, so without a checker a lying extension
+// could smuggle an impure guard into the inlined fast path or a
+// non-terminable handler past the watchdog. spinvet closes that gap at
+// build time — "checks happen before installation".
+//
+// It is a multi-analyzer in the shape of golang.org/x/tools/go/analysis,
+// built on the standard library alone (see internal/analysis/load) so it
+// runs hermetically. Three analyzers share one program view and one fact
+// store:
+//
+//   - spinpurity: every function reaching a guard position must not write
+//     package-level or captured state, touch channels, mutate maps through
+//     foreign references, start goroutines, panic, or call anything not
+//     itself proven pure. The proof is interprocedural: callee summaries
+//     are computed on demand, memoized per *types.Func, and shared across
+//     packages. `//spinvet:pure` on a declaration vouches for a vetted
+//     leaf the analysis cannot see through (the escape-hatch policy is
+//     documented in DESIGN.md decision 14).
+//
+//   - spinephemeral: handlers declared EPHEMERAL, installed with
+//     Ephemeral()/WithDeadline(), or registered through CtxFn/InstallCtx
+//     must be context-cooperative: loops must check ctx.Err()/ctx.Done()
+//     (or hand the context onward), and blocking operations — time.Sleep,
+//     bare channel operations, net reads — must be guarded by the
+//     invocation context.
+//
+//   - spindecl: declared attribute bits must not contradict what analysis
+//     proves — a provably impure guard declared FUNCTIONAL is an error,
+//     a guard descriptor without FUNCTIONAL or without a BOOLEAN result
+//     will be rejected at runtime and is reported at build time, and an
+//     Ephemeral() installation whose descriptor does not declare
+//     EPHEMERAL is caught before it can fail at install.
+//
+// Guard positions are defined by the install-site metadata the rtti
+// package exports (rtti.VetSites) plus one structural rule: any function
+// returning dispatch.Guard is a guard constructor, and its function-typed
+// parameters carry the FUNCTIONAL obligation at every call site.
+package spinvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"spin/internal/analysis/load"
+	"spin/internal/rtti"
+)
+
+// Analyzer describes one member of the multi-analyzer, mirroring the
+// x/tools analysis.Analyzer surface this package would register with if it
+// could depend on it.
+type Analyzer struct {
+	// Name is the analyzer's identifier, shown in diagnostics.
+	Name string
+	// Doc is the one-line description the driver prints.
+	Doc string
+}
+
+// The three analyzers. Their Run logic lives on the shared checker —
+// they are split here by reported category so drivers can list and filter
+// them like any vet suite.
+var (
+	// PurityAnalyzer reports guards that are not provably side-effect
+	// free.
+	PurityAnalyzer = &Analyzer{
+		Name: "spinpurity",
+		Doc:  "report guard predicates that are not provably FUNCTIONAL (side-effect free)",
+	}
+	// EphemeralAnalyzer reports deadline-bounded handlers that cannot
+	// cooperate with termination.
+	EphemeralAnalyzer = &Analyzer{
+		Name: "spinephemeral",
+		Doc:  "report EPHEMERAL/deadline handlers that ignore their cancellation context",
+	}
+	// DeclAnalyzer reports descriptor attribute bits contradicting the
+	// analysis.
+	DeclAnalyzer = &Analyzer{
+		Name: "spindecl",
+		Doc:  "report rtti descriptor declarations contradicting what analysis proves",
+	}
+)
+
+// Analyzers returns the members of the suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{PurityAnalyzer, EphemeralAnalyzer, DeclAnalyzer}
+}
+
+// Diagnostic is one finding, positioned and attributed to an analyzer.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message describes the finding.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Check runs the suite over report, with prog's packages (plus report)
+// forming the interprocedural horizon. Diagnostics are returned sorted by
+// position and deduplicated.
+func Check(prog *load.Program, report []*load.Package) []Diagnostic {
+	c := newChecker(prog, report)
+	for _, pkg := range report {
+		if pkg.Types == nil {
+			continue
+		}
+		for _, s := range c.extractSites(pkg) {
+			c.checkSite(s)
+		}
+	}
+	sort.Slice(c.diags, func(i, j int) bool {
+		a, b := c.diags[i], c.diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	var out []Diagnostic
+	seen := make(map[string]bool)
+	for _, d := range c.diags {
+		key := d.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// checker is the shared state of one Check run: the program view, the
+// object→declaration index, and the purity fact store.
+type checker struct {
+	prog  *load.Program
+	all   []*load.Package
+	diags []Diagnostic
+
+	// decls indexes every function declaration in the horizon by its
+	// (origin) type object, so interprocedural analysis can cross package
+	// boundaries on identical *types.Func keys.
+	decls map[*types.Func]*declInfo
+	// pureAnnotated records declarations carrying //spinvet:pure.
+	pureAnnotated map[*types.Func]bool
+	// facts memoizes purity summaries per function — the facts-based
+	// cross-package summary store (x/tools "facts", in-process).
+	facts map[*types.Func]*purityFact
+	// inProgress marks functions currently on the analysis stack; cycles
+	// are resolved optimistically (each body is still fully walked in its
+	// own frame, so a violation anywhere in the cycle is found there).
+	inProgress map[*types.Func]bool
+	// sites is the install-site metadata from rtti, keyed by normalized
+	// function path.
+	callSites map[string]rtti.VetSite
+	litSites  map[string]map[string]rtti.VetRole // type path -> field -> role
+	// handlerSites maps a Handler composite literal node to its site so
+	// Install-call processing can attach deadline obligations.
+	handlerSites map[ast.Node]*site
+}
+
+// declInfo pairs a function declaration with the package it was checked
+// in.
+type declInfo struct {
+	decl *ast.FuncDecl
+	pkg  *load.Package
+}
+
+func newChecker(prog *load.Program, report []*load.Package) *checker {
+	c := &checker{
+		prog:          prog,
+		decls:         make(map[*types.Func]*declInfo),
+		pureAnnotated: make(map[*types.Func]bool),
+		facts:         make(map[*types.Func]*purityFact),
+		inProgress:    make(map[*types.Func]bool),
+		callSites:     make(map[string]rtti.VetSite),
+		litSites:      make(map[string]map[string]rtti.VetRole),
+		handlerSites:  make(map[ast.Node]*site),
+	}
+	seen := make(map[*load.Package]bool)
+	for _, pkg := range prog.Packages {
+		if !seen[pkg] {
+			seen[pkg] = true
+			c.all = append(c.all, pkg)
+		}
+	}
+	for _, pkg := range report {
+		if !seen[pkg] {
+			seen[pkg] = true
+			c.all = append(c.all, pkg)
+		}
+	}
+	for _, vs := range rtti.VetSites() {
+		if vs.Field != "" {
+			m := c.litSites[vs.Path]
+			if m == nil {
+				m = make(map[string]rtti.VetRole)
+				c.litSites[vs.Path] = m
+			}
+			m[vs.Field] = vs.Role
+		} else {
+			c.callSites[vs.Path] = vs
+		}
+	}
+	c.buildIndex()
+	return c
+}
+
+// buildIndex walks every package in the horizon once, recording function
+// declarations and //spinvet:pure annotations.
+func (c *checker) buildIndex() {
+	for _, pkg := range c.all {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				c.decls[obj] = &declInfo{decl: fd, pkg: pkg}
+				if hasPureAnnotation(fd) {
+					c.pureAnnotated[obj] = true
+				}
+			}
+		}
+	}
+}
+
+// hasPureAnnotation reports whether the declaration's doc comment carries
+// the //spinvet:pure escape hatch.
+func hasPureAnnotation(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, l := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(l.Text), "//spinvet:pure") {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) report(a *Analyzer, pos token.Pos, format string, args ...any) {
+	c.diags = append(c.diags, Diagnostic{
+		Pos:      c.prog.Fset.Position(pos),
+		Analyzer: a.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// funcPath normalizes a function or method to the site-table path form:
+// package-qualified, pointer receivers as "(*T).M", generic instantiation
+// brackets stripped.
+func funcPath(fn *types.Func) string {
+	fn = fn.Origin()
+	name := fn.FullName()
+	// FullName renders methods as "(pkg.T).M" or "(*pkg.T[A]).M"; strip
+	// the instantiation brackets wherever they appear.
+	for {
+		i := strings.IndexByte(name, '[')
+		if i < 0 {
+			break
+		}
+		depth, j := 0, i
+		for ; j < len(name); j++ {
+			switch name[j] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			}
+			if depth == 0 {
+				break
+			}
+		}
+		if j >= len(name) {
+			break
+		}
+		name = name[:i] + name[j+1:]
+	}
+	return name
+}
+
+// namedPath returns "pkgpath.Name" for a (possibly aliased) named type,
+// or "".
+func namedPath(t types.Type) string {
+	t = types.Unalias(t)
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}

@@ -1,0 +1,177 @@
+package spinvet_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"spin/internal/analysis/load"
+	"spin/internal/analysis/spinvet"
+)
+
+// The module is loaded once per test binary: the corpus type-checks
+// against the same program so interprocedural facts flow between corpus
+// code and the real dispatch/rtti packages.
+var (
+	progOnce sync.Once
+	prog     *load.Program
+	progErr  error
+)
+
+func program(t *testing.T) *load.Program {
+	t.Helper()
+	progOnce.Do(func() {
+		prog, progErr = load.Load("../../..", "./...")
+	})
+	if progErr != nil {
+		t.Fatalf("loading module: %v", progErr)
+	}
+	return prog
+}
+
+// TestTreeClean is the enforcement test: the repository's own tree must
+// produce zero diagnostics (make lint runs the same check via the
+// driver).
+func TestTreeClean(t *testing.T) {
+	p := program(t)
+	var report []*load.Package
+	for _, pkg := range p.Packages {
+		if pkg.DepOnly {
+			continue
+		}
+		if len(pkg.Errors) > 0 {
+			t.Fatalf("%s failed to type-check: %v", pkg.PkgPath, pkg.Errors[0])
+		}
+		report = append(report, pkg)
+	}
+	if len(report) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, d := range spinvet.Check(p, report) {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestCorpus runs the suite over the golden corpus and matches the
+// diagnostics against the inline `// want` expectations, analysistest
+// style: every want must be satisfied by a diagnostic on its line, and
+// every diagnostic must be claimed by a want.
+func TestCorpus(t *testing.T) {
+	p := program(t)
+	paths, err := filepath.Glob(filepath.Join("testdata", "src", "corpus", "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(p.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	pkg := p.CheckExtra("corpus", files)
+	for _, err := range pkg.Errors {
+		t.Errorf("corpus type error: %v", err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	diags := spinvet.Check(p, []*load.Package{pkg})
+
+	wants := readWants(t, paths)
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		ok := false
+		for i, d := range diags {
+			if matched[i] {
+				continue
+			}
+			if filepath.Base(d.Pos.Filename) == w.file && d.Pos.Line == w.line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+
+	// The acceptance bar: the corpus demonstrates at least five distinct
+	// diagnostic messages across all three analyzers.
+	distinct := make(map[string]bool)
+	byAnalyzer := make(map[string]bool)
+	for _, d := range diags {
+		distinct[d.Message] = true
+		byAnalyzer[d.Analyzer] = true
+	}
+	if len(distinct) < 5 {
+		t.Errorf("corpus demonstrates %d distinct diagnostics, want >= 5", len(distinct))
+	}
+	for _, a := range spinvet.Analyzers() {
+		if !byAnalyzer[a.Name] {
+			t.Errorf("corpus has no %s diagnostic", a.Name)
+		}
+	}
+}
+
+// want is one expectation: a regex that must match a diagnostic on the
+// given line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantPat = regexp.MustCompile("// want (`.+)$")
+var wantArg = regexp.MustCompile("`([^`]*)`")
+
+// readWants scans corpus sources for `// want `regex“ comments
+// (backquoted; several per line allowed).
+func readWants(t *testing.T, paths []string) []want {
+	t.Helper()
+	var out []want
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantPat.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			args := wantArg.FindAllStringSubmatch(m[1], -1)
+			if len(args) == 0 {
+				t.Fatalf("%s:%d: malformed want comment (expected backquoted regexes): %s", path, i+1, line)
+			}
+			for _, a := range args {
+				re, err := regexp.Compile(a[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex: %v", path, i+1, err)
+				}
+				out = append(out, want{file: filepath.Base(path), line: i + 1, re: re})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}

@@ -1,0 +1,170 @@
+// Package corpus is the spinvet golden corpus: each declaration below
+// exercises one diagnostic class (or one deliberate silence). The
+// `// want ...` comments carry regexes the test harness matches against
+// diagnostics reported on that line; a line without a want comment must
+// stay quiet.
+package corpus
+
+import (
+	"context"
+	"strings"
+	"time"
+
+	"spin/internal/dispatch"
+	"spin/internal/rtti"
+)
+
+var mod = rtti.NewModule("Corpus")
+
+var hits int
+var events = make(chan uint64, 1)
+
+// --- spinpurity: direct write to package-level state -----------------
+
+var impureWrite = dispatch.Guard{
+	Proc: &rtti.Proc{Name: "corpus.write", Module: mod, Functional: true, // want `declares FUNCTIONAL but its guard is provably impure`
+		Sig: rtti.Sig(rtti.Bool, rtti.Word)},
+	Fn: func(clo any, args []any) bool {
+		hits++ // want `not provably FUNCTIONAL: writes hits`
+		return true
+	},
+}
+
+// --- spinpurity: channel operation -----------------------------------
+
+var impureChan = dispatch.Guard{
+	Proc: &rtti.Proc{Name: "corpus.chan", Module: mod, Functional: true, // want `declares FUNCTIONAL but its guard is provably impure`
+		Sig: rtti.Sig(rtti.Bool, rtti.Word)},
+	Fn: func(clo any, args []any) bool {
+		events <- args[0].(uint64) // want `not provably FUNCTIONAL: sends on a channel`
+		return true
+	},
+}
+
+// --- spinpurity: transitive (interprocedural) impurity ----------------
+
+func bump() {
+	hits++
+}
+
+var impureCall = dispatch.Guard{
+	Proc: &rtti.Proc{Name: "corpus.call", Module: mod, Functional: true, // want `declares FUNCTIONAL but its guard is provably impure`
+		Sig: rtti.Sig(rtti.Bool, rtti.Word)},
+	Fn: func(clo any, args []any) bool {
+		bump() // want `not provably FUNCTIONAL: calls bump, which writes hits`
+		return true
+	},
+}
+
+// --- //spinvet:pure suppression ---------------------------------------
+
+// vettedCounter would be flagged (it writes package state), but the
+// escape hatch vouches for it, so its guard below must stay silent.
+//
+//spinvet:pure
+func vettedCounter(w uint64) bool {
+	hits++
+	return w&1 == 0
+}
+
+var suppressed = dispatch.Guard{
+	Proc: &rtti.Proc{Name: "corpus.vetted", Module: mod, Functional: true,
+		Sig: rtti.Sig(rtti.Bool, rtti.Word)},
+	Fn: func(clo any, args []any) bool {
+		return vettedCounter(args[0].(uint64))
+	},
+}
+
+// --- negative control: a genuinely pure guard -------------------------
+
+var pureGuard = dispatch.Guard{
+	Proc: &rtti.Proc{Name: "corpus.pure", Module: mod, Functional: true,
+		Sig: rtti.Sig(rtti.Bool, rtti.Text)},
+	Fn: func(clo any, args []any) bool {
+		return strings.HasPrefix(args[0].(string), "corpus/")
+	},
+}
+
+// --- spindecl: guard descriptor missing Functional ---------------------
+
+var undeclared = dispatch.Guard{
+	Proc: &rtti.Proc{Name: "corpus.undeclared", Module: mod, // want `does not declare Functional: true`
+		Sig: rtti.Sig(rtti.Bool, rtti.Word)},
+	Fn: func(clo any, args []any) bool {
+		return true
+	},
+}
+
+// --- spindecl: guard result contradicts the BOOLEAN contract -----------
+
+var badResult = dispatch.Guard{
+	Proc: &rtti.Proc{Name: "corpus.badresult", Module: mod, Functional: true,
+		Sig: rtti.Sig(rtti.Word, rtti.Word)}, // want `declares result Word; guards must return BOOLEAN`
+	Fn: func(clo any, args []any) bool {
+		return true
+	},
+}
+
+// --- spinephemeral: loop that never checks the context -----------------
+
+var spinLoop = dispatch.Handler{
+	Proc: &rtti.Proc{Name: "corpus.spinloop", Module: mod, Ephemeral: true,
+		Sig: rtti.Sig(nil, rtti.Word)},
+	CtxFn: func(ctx context.Context, clo any, args []any) any {
+		for i := 0; i < 1<<30; i++ { // want `loop never checks ctx`
+			_ = i
+		}
+		return nil
+	},
+}
+
+// --- spinephemeral: EPHEMERAL declared, but no way to hear cancel ------
+
+var sleepy = dispatch.Handler{
+	Proc: &rtti.Proc{Name: "corpus.sleepy", Module: mod, Ephemeral: true,
+		Sig: rtti.Sig(nil, rtti.Word)},
+	Fn: func(clo any, args []any) any {
+		time.Sleep(time.Second) // want `takes no context.Context`
+		return nil
+	},
+}
+
+// --- spinephemeral: unguarded blocking receive -------------------------
+
+var recvNoGuard = dispatch.Handler{
+	Proc: &rtti.Proc{Name: "corpus.recv", Module: mod, Ephemeral: true,
+		Sig: rtti.Sig(nil, rtti.Word)},
+	CtxFn: func(ctx context.Context, clo any, args []any) any {
+		v := <-events // want `channel receive is not guarded`
+		_ = v
+		return nil
+	},
+}
+
+// --- negative control: the cooperative form of the same handler --------
+
+var cooperative = dispatch.Handler{
+	Proc: &rtti.Proc{Name: "corpus.cooperative", Module: mod, Ephemeral: true,
+		Sig: rtti.Sig(nil, rtti.Word)},
+	CtxFn: func(ctx context.Context, clo any, args []any) any {
+		select {
+		case v := <-events:
+			_ = v
+		case <-ctx.Done():
+		}
+		return nil
+	},
+}
+
+// --- spindecl: Ephemeral(...) install vs. undeclared descriptor --------
+
+func installs(ev *dispatch.Event) {
+	forgot := dispatch.Handler{
+		Proc: &rtti.Proc{Name: "corpus.forgot", Module: mod, // want `installed with Ephemeral\(\.\.\.\) but does not declare Ephemeral: true`
+			Sig: rtti.Sig(nil, rtti.Word)},
+		Fn: func(clo any, args []any) any {
+			return nil
+		},
+	}
+	_, _ = ev.Install(forgot, dispatch.Ephemeral(time.Millisecond))
+}

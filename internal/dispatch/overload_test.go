@@ -512,3 +512,23 @@ func TestAdmissionInactiveUnderSimulator(t *testing.T) {
 		t.Fatalf("simulator path touched the queue: %+v", s)
 	}
 }
+
+// TestAdmissionEnabledNoPolicyZeroAlloc: compiling the admission
+// subsystem into the dispatcher must cost the synchronous fast path
+// nothing when no policy applies to an event — the no-policy raise pays
+// one nil check, never an allocation. This is the third standing 0-alloc
+// invariant (alongside tracing-off and fault-policy-on) gated by
+// `make alloccheck`.
+func TestAdmissionEnabledNoPolicyZeroAlloc(t *testing.T) {
+	d := New(WithAdmission(AdmissionConfig{Workers: 1}))
+	ev, err := d.DefineEvent("Load.NoPolicy", fastSig(1), WithIntrinsic(fastHandler(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.AdmissionQueue() != nil {
+		t.Fatal("no-policy event compiled an admission queue in")
+	}
+	if n := testing.AllocsPerRun(1000, func() { _, _ = ev.Raise1(uint64(7)) }); n != 0 {
+		t.Errorf("admission enabled, no policy: %v allocs/raise, want 0", n)
+	}
+}

@@ -1,0 +1,103 @@
+package rtti
+
+// This file exports the install-site metadata the spinvet static verifier
+// (internal/analysis/spinvet, cmd/spinvet) keys its checks off. In SPIN the
+// Modula-3 compiler *verified* the FUNCTIONAL and EPHEMERAL attributes
+// before the dispatcher ever saw a descriptor (paper §2.4); this repo's
+// descriptors are self-declared, so the attribute bits are only as honest
+// as the extension that wrote them. spinvet restores the compile-time leg
+// of that contract: it proves (or refutes) the declared attributes at the
+// source level, before installation can happen at runtime.
+//
+// The table lives here — next to the descriptors it polices — so that an
+// API change to the dispatch surface and the verifier's view of that
+// surface are reviewed in one place. The analyzer loads this package and
+// reads the table through its exported API; nothing at runtime consults it.
+
+// VetRole classifies how an API position consumes a function value, which
+// decides the static obligation spinvet enforces on it.
+type VetRole int
+
+const (
+	// VetGuardFn marks a position whose function is a guard predicate: it
+	// must be provably side-effect free (the FUNCTIONAL obligation).
+	VetGuardFn VetRole = iota
+	// VetHandlerFn marks a plain handler implementation: no purity
+	// obligation, but it participates in declaration-consistency checks.
+	VetHandlerFn
+	// VetCtxHandlerFn marks a cancellation-aware handler implementation:
+	// it must be context-cooperative (the EPHEMERAL obligation) — every
+	// loop reachable in its body checks ctx.Err()/ctx.Done(), and blocking
+	// operations are guarded by the invocation context.
+	VetCtxHandlerFn
+)
+
+func (r VetRole) String() string {
+	switch r {
+	case VetGuardFn:
+		return "guard"
+	case VetHandlerFn:
+		return "handler"
+	case VetCtxHandlerFn:
+		return "ctx-handler"
+	}
+	return "unknown"
+}
+
+// VetSite is one static position in the public API where a function value
+// acquires a dispatcher obligation. Two shapes exist:
+//
+//   - composite-literal sites: Path names a struct type and Field the
+//     function-valued field (Arg is -1);
+//   - call sites: Path names a function or method (generic instantiation
+//     brackets stripped, pointer receivers normalized to "(*T).M") and Arg
+//     the zero-based argument index carrying the function.
+type VetSite struct {
+	// Path is the fully qualified type, function, or method path, e.g.
+	// "spin/internal/dispatch.Guard" or "spin.(*Event1).Guard".
+	Path string
+	// Field is the struct field name for composite-literal sites ("" for
+	// call sites).
+	Field string
+	// Arg is the argument index for call sites (-1 for literal sites).
+	Arg int
+	// Role is the obligation attached to the function at this position.
+	Role VetRole
+}
+
+// VetSites returns the install-site table for the current API surface.
+//
+// Beyond these fixed positions, spinvet applies one structural rule that
+// cannot be expressed as a path: any function whose result type includes
+// dispatch.Guard is a guard *constructor*, and every function-typed
+// parameter it takes is itself a guard position (so netstack.HeaderGuard's
+// pred, and any future wrapper like it, inherit the FUNCTIONAL obligation
+// at their call sites).
+func VetSites() []VetSite {
+	lit := func(path, field string, role VetRole) VetSite {
+		return VetSite{Path: path, Field: field, Arg: -1, Role: role}
+	}
+	call := func(path string, arg int, role VetRole) VetSite {
+		return VetSite{Path: path, Arg: arg, Role: role}
+	}
+	sites := []VetSite{
+		// The untyped core: Guard and Handler literals, wherever they are
+		// built (WithGuard, ImposeGuard, guard constructors, tables).
+		lit("spin/internal/dispatch.Guard", "Fn", VetGuardFn),
+		lit("spin/internal/dispatch.Handler", "Fn", VetHandlerFn),
+		lit("spin/internal/dispatch.Handler", "CtxFn", VetCtxHandlerFn),
+	}
+	// The typed wrappers: Guard builders take the predicate as their third
+	// argument, InstallCtx takes the cancellation-aware handler as its
+	// third argument, Install takes the plain handler there too.
+	for _, recv := range []string{"Event1", "Event2", "Event3", "FuncEvent1", "FuncEvent2"} {
+		sites = append(sites, call("spin.(*"+recv+").Guard", 2, VetGuardFn))
+	}
+	for _, recv := range []string{"Event0", "Event1", "Event2", "Event3", "FuncEvent0", "FuncEvent1", "FuncEvent2"} {
+		sites = append(sites, call("spin.(*"+recv+").Install", 2, VetHandlerFn))
+	}
+	for _, recv := range []string{"Event0", "Event1", "Event2"} {
+		sites = append(sites, call("spin.(*"+recv+").InstallCtx", 2, VetCtxHandlerFn))
+	}
+	return sites
+}

@@ -83,6 +83,14 @@ func (c *CPU) Now() Time {
 }
 
 // Charge advances virtual time by the cost of one operation of kind k.
+//
+// Charging is exempt from the guard-purity analysis: advancing virtual
+// time is the simulation's analog of the wall clock moving while code
+// executes, and the paper's FUNCTIONAL guards consume CPU time too
+// (Table 2 prices them). It mutates only the meter, never state a guard
+// or handler can branch on.
+//
+//spinvet:pure
 func (c *CPU) Charge(k Kind) {
 	if c == nil {
 		return
@@ -91,6 +99,8 @@ func (c *CPU) Charge(k Kind) {
 }
 
 // ChargeN advances virtual time by the cost of n operations of kind k.
+//
+//spinvet:pure (see Charge)
 func (c *CPU) ChargeN(k Kind, n int) {
 	if c == nil || n <= 0 {
 		return
