@@ -20,8 +20,9 @@ var allowPkgs = map[string]bool{
 	"math":         true,
 	"math/bits":    true,
 	"strconv":      true,
-	"errors":       true,
 	"sort":         false, // sorts in place — explicitly not pure
+	// errors is deliberately absent: errors.As writes through its target
+	// pointer, so the read-only functions are vouched individually below.
 }
 
 // allowFuncs are individually vouched functions, by full path.
@@ -30,6 +31,13 @@ var allowFuncs = map[string]bool{
 	"fmt.Sprint":   true,
 	"fmt.Sprintln": true,
 	"fmt.Errorf":   true,
+
+	// The read-only subset of errors. errors.As is excluded: it writes
+	// through its second argument, which may be pre-existing state.
+	"errors.New":    true,
+	"errors.Is":     true,
+	"errors.Unwrap": true,
+	"errors.Join":   true,
 
 	// Atomic loads read shared state without mutating it; guards are
 	// allowed to observe the world, just not to change it.

@@ -186,8 +186,11 @@ func (e *ephWalk) containsCtxCheck(n ast.Node) bool {
 			return true
 		}
 		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && e.isCtxExpr(sel.X) {
+			// ctx.Value is deliberately absent: it never observes
+			// cancellation, so a loop whose only context use is Value
+			// is still unterminable by the watchdog.
 			switch sel.Sel.Name {
-			case "Err", "Done", "Deadline", "Value":
+			case "Err", "Done", "Deadline":
 				found = true
 				return false
 			}

@@ -142,6 +142,18 @@ func (c *checker) analyzeBody(scope ast.Node, body *ast.BlockStmt, pkg *load.Pac
 					return false
 				}
 			}
+			if x.Tok == token.ASSIGN {
+				// for k, v = range ...: the clause writes its targets.
+				for _, lhs := range []ast.Expr{x.Key, x.Value} {
+					if lhs == nil {
+						continue
+					}
+					if v := w.checkWrite(lhs); v != nil {
+						w.v = v
+						return false
+					}
+				}
+			}
 		case *ast.CallExpr:
 			if v := w.checkCall(x); v != nil {
 				w.v = v
@@ -166,63 +178,100 @@ type purityWalk struct {
 	v     *violation
 }
 
-// collectAllocs pre-scans the body for locals initialized (only) with
-// fresh allocations. A name that is ever rebound to something else loses
-// the exemption.
+// collectAllocs pre-scans the body for locals whose every binding is a
+// fresh allocation. The scan is flow-insensitive, so the exemption holds
+// only if no binding anywhere in the body — definition, plain assignment,
+// rebinding through a mixed short declaration, or a range clause — could
+// make the name alias pre-existing state.
 func (w *purityWalk) collectAllocs(body *ast.BlockStmt) {
-	record := func(id *ast.Ident, rhs ast.Expr) {
+	killed := make(map[types.Object]bool)
+	// bind records one binding of id: a fresh allocation keeps the
+	// exemption alive, anything else kills it for good.
+	bind := func(id *ast.Ident, rhs ast.Expr) {
+		if id.Name == "_" {
+			return
+		}
 		obj := w.pkg.Info.Defs[id]
+		if obj == nil {
+			// Rebinding: plain assignment, or a mixed short declaration
+			// that reuses an existing name.
+			obj = w.pkg.Info.Uses[id]
+		}
 		if obj == nil {
 			return
 		}
-		if isAllocExpr(w.pkg, rhs) {
+		if rhs != nil && isAllocExpr(w.pkg, rhs) {
 			w.alloc[obj] = true
+		} else {
+			killed[obj] = true
 		}
 	}
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.AssignStmt:
-			if x.Tok != token.DEFINE || len(x.Lhs) != len(x.Rhs) {
-				// Rebinding via plain assignment is caught by checkWrite;
-				// multi-value defines are never allocations.
+			if len(x.Lhs) != len(x.Rhs) {
+				// Multi-value bindings are never allocations.
+				for _, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						bind(id, nil)
+					}
+				}
 				return true
 			}
 			for i, lhs := range x.Lhs {
 				if id, ok := lhs.(*ast.Ident); ok {
-					record(id, x.Rhs[i])
+					bind(id, x.Rhs[i])
+				}
+			}
+		case *ast.RangeStmt:
+			// Range clauses bind views into the ranged container.
+			for _, e := range []ast.Expr{x.Key, x.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					bind(id, nil)
 				}
 			}
 		case *ast.ValueSpec:
 			if len(x.Names) == len(x.Values) {
 				for i, name := range x.Names {
-					record(name, x.Values[i])
+					bind(name, x.Values[i])
 				}
 			} else if len(x.Values) == 0 {
-				// var x T — zero value is fresh (value types only; a
-				// zero-valued pointer/slice is nil and writes through it
-				// would panic, not alias).
+				// var x T — the zero value is fresh only when T holds no
+				// references: a zero-valued pointer component could later
+				// be pointed at pre-existing state through a path
+				// checkWrite treats as direct (e.g. an array-of-pointer
+				// element), and a write through it would then escape.
 				for _, name := range x.Names {
-					if obj := w.pkg.Info.Defs[name]; obj != nil {
+					if obj := w.pkg.Info.Defs[name]; obj != nil && noRefComponents(obj.Type()) {
 						w.alloc[obj] = true
 					}
+				}
+			} else {
+				// var a, b = f(): never an allocation.
+				for _, name := range x.Names {
+					bind(name, nil)
 				}
 			}
 		}
 		return true
 	})
+	for obj := range killed {
+		delete(w.alloc, obj)
+	}
 }
 
 // isAllocExpr reports whether e evaluates to storage that did not exist
-// before this statement ran.
+// before this statement ran AND holds no references to storage that did:
+// writes one level through it provably cannot reach pre-existing state.
 func isAllocExpr(pkg *load.Package, e ast.Expr) bool {
 	e = ast.Unparen(e)
 	switch x := e.(type) {
 	case *ast.CompositeLit:
-		return true
+		return freshLit(pkg, x)
 	case *ast.UnaryExpr:
 		if x.Op == token.AND {
-			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
-			return ok
+			lit, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok && freshLit(pkg, lit)
 		}
 	case *ast.CallExpr:
 		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
@@ -230,6 +279,49 @@ func isAllocExpr(pkg *load.Package, e ast.Expr) bool {
 				return b.Name() == "new" || b.Name() == "make"
 			}
 		}
+	}
+	return false
+}
+
+// freshLit reports whether a composite literal's storage contains no
+// pre-existing addresses: every element must itself be a fresh allocation
+// or a value with no reference components. S{p: &global} is fresh storage,
+// but a write one level through it (x.p.f = 1) reaches state that predates
+// the guard, so it earns no exemption.
+func freshLit(pkg *load.Package, lit *ast.CompositeLit) bool {
+	for _, el := range lit.Elts {
+		v := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+		}
+		if isAllocExpr(pkg, v) {
+			continue
+		}
+		if t := typeOf(pkg, v); t != nil && noRefComponents(t) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// noRefComponents reports whether values of t cannot contain a reference
+// (pointer, slice, map, channel, function, interface, unsafe.Pointer)
+// through which a write could reach storage outliving the value itself.
+// Strings are immutable and count as reference-free.
+func noRefComponents(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer
+	case *types.Array:
+		return noRefComponents(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !noRefComponents(u.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
 	}
 	return false
 }

@@ -444,7 +444,11 @@ func resolveLocal(pkg *load.Package, id *ast.Ident, encl *ast.FuncDecl) ast.Expr
 					if len(x.Lhs) == len(x.Rhs) {
 						init = x.Rhs[i]
 					}
-				} else if x.Tok != token.DEFINE && pkg.Info.Uses[lid] == obj {
+				} else if pkg.Info.Uses[lid] == obj {
+					// Plain reassignment, or rebinding through a mixed
+					// short declaration (f, x := ...), which records the
+					// existing name in Uses with Tok == DEFINE. Either way
+					// there is no single resolvable initializer.
 					reassigned = true
 				}
 			}

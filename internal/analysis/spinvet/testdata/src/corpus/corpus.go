@@ -7,6 +7,7 @@ package corpus
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"time"
 
@@ -151,6 +152,125 @@ var cooperative = dispatch.Handler{
 		case v := <-events:
 			_ = v
 		case <-ctx.Done():
+		}
+		return nil
+	},
+}
+
+// --- spinpurity: alloc exemption dies when the name is rebound ---------
+
+var table = make([]int, 4)
+
+var aliasRebind = dispatch.Guard{
+	Proc: &rtti.Proc{Name: "corpus.alias", Module: mod, Functional: true, // want `declares FUNCTIONAL but its guard is provably impure`
+		Sig: rtti.Sig(rtti.Bool, rtti.Word)},
+	Fn: func(clo any, args []any) bool {
+		s := make([]int, 1)
+		s = table
+		s[0] = 42 // want `writes through s, which may alias state outside the guard`
+		return s[0] == 42
+	},
+}
+
+// --- spinpurity: zero value of a reference-bearing type is not exempt --
+
+var globalInt int
+
+var zeroSlot = dispatch.Guard{
+	Proc: &rtti.Proc{Name: "corpus.zeroslot", Module: mod, Functional: true, // want `declares FUNCTIONAL but its guard is provably impure`
+		Sig: rtti.Sig(rtti.Bool, rtti.Word)},
+	Fn: func(clo any, args []any) bool {
+		var slots [2]*int
+		slots[0] = &globalInt
+		*slots[0] = 7 // want `writes through slots, which may alias state outside the guard`
+		return true
+	},
+}
+
+// --- spinpurity: fresh literal carrying a pre-existing address ---------
+
+type box struct{ p *int }
+
+var boxedAlias = dispatch.Guard{
+	Proc: &rtti.Proc{Name: "corpus.boxed", Module: mod, Functional: true, // want `declares FUNCTIONAL but its guard is provably impure`
+		Sig: rtti.Sig(rtti.Bool, rtti.Word)},
+	Fn: func(clo any, args []any) bool {
+		b := box{p: &globalInt}
+		*b.p = 9 // want `writes through b, which may alias state outside the guard`
+		return true
+	},
+}
+
+// --- negative control: fully fresh allocation graph stays exempt -------
+
+var freshBox = dispatch.Guard{
+	Proc: &rtti.Proc{Name: "corpus.freshbox", Module: mod, Functional: true,
+		Sig: rtti.Sig(rtti.Bool, rtti.Word)},
+	Fn: func(clo any, args []any) bool {
+		b := box{p: new(int)}
+		*b.p = 9
+		return *b.p == 9
+	},
+}
+
+// --- spinpurity: mixed short declaration rebinds the guard name --------
+
+func pureEven(clo any, args []any) bool { return args[0].(uint64)&1 == 0 }
+
+func impureCount(clo any, args []any) bool {
+	hits++
+	return true
+}
+
+func mixedRebind() dispatch.Guard {
+	f := pureEven
+	f, n := impureCount, 0
+	_ = n
+	return dispatch.Guard{
+		Proc: &rtti.Proc{Name: "corpus.mixed", Module: mod, Functional: true, // want `declares FUNCTIONAL but its guard is provably impure`
+			Sig: rtti.Sig(rtti.Bool, rtti.Word)},
+		Fn: f, // want `not provably FUNCTIONAL: is an opaque function value`
+	}
+}
+
+// --- spinpurity: errors.As mutates its target ---------------------------
+
+type parseErr struct{ code int }
+
+func (e *parseErr) Error() string { return "parse" }
+
+var lastParse *parseErr
+
+var errorsAs = dispatch.Guard{
+	Proc: &rtti.Proc{Name: "corpus.errorsas", Module: mod, Functional: true, // want `declares FUNCTIONAL but its guard is provably impure`
+		Sig: rtti.Sig(rtti.Bool, rtti.Word)},
+	Fn: func(clo any, args []any) bool {
+		err, _ := args[0].(error)
+		return errors.As(err, &lastParse) // want `calls As, which has no analyzable source`
+	},
+}
+
+// --- negative control: the read-only errors functions stay vouched -----
+
+var sentinel = errors.New("corpus sentinel")
+
+var errorsIs = dispatch.Guard{
+	Proc: &rtti.Proc{Name: "corpus.errorsis", Module: mod, Functional: true,
+		Sig: rtti.Sig(rtti.Bool, rtti.Word)},
+	Fn: func(clo any, args []any) bool {
+		err, _ := args[0].(error)
+		return errors.Is(err, sentinel)
+	},
+}
+
+// --- spinephemeral: ctx.Value does not observe cancellation ------------
+
+var valueOnly = dispatch.Handler{
+	Proc: &rtti.Proc{Name: "corpus.valueonly", Module: mod, Ephemeral: true,
+		Sig: rtti.Sig(nil, rtti.Word)},
+	CtxFn: func(ctx context.Context, clo any, args []any) any {
+		for i := 0; i < 1<<30; i++ { // want `loop never checks ctx`
+			_ = ctx.Value("seen")
 		}
 		return nil
 	},
