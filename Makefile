@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint spinvet alloccheck build test race fuzz-smoke faultcheck overloadcheck bench tables json
+.PHONY: check vet lint spinvet alloccheck build test race fuzz-smoke faultcheck overloadcheck bench benchsmoke profile tables json
 
 check: vet lint build test race
 
@@ -60,6 +60,19 @@ overloadcheck:
 # parallel raise path.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Benchmark-regression smoke gate: the specialized inline-plan raise must
+# stay within 25% of the committed inline/bypass ratio recorded in
+# BENCH_dispatch.json. Ratio-based so it is meaningful on any host.
+benchsmoke:
+	SPIN_BENCH_SMOKE=1 $(GO) test -run TestBenchSmokeInlinePlan -count=1 -v .
+
+# CPU profile of the parallel raise benchmarks. EXPERIMENTS.md ("Reading
+# the inline-plan profile") explains what to look for in the output of
+# `go tool pprof -top raise.prof`.
+profile:
+	$(GO) test -bench BenchmarkRaiseParallel -run '^$$' -benchtime 2s -cpuprofile raise.prof -o raise.test .
+	$(GO) tool pprof -top -nodecount 15 raise.test raise.prof
 
 # Calibrated virtual-time reproductions of the paper's tables.
 tables:

@@ -1,0 +1,133 @@
+package spin
+
+// Benchmark-regression smoke gate for the specialized inline plan. It is
+// opt-in (SPIN_BENCH_SMOKE=1, `make benchsmoke`) because it measures native
+// time: absolute ns/op vary wildly across hosts, so the gate compares the
+// *ratio* of the inline plan to the single-handler bypass on the same
+// machine in the same process — the quantity the specialization work
+// optimizes and BENCH_dispatch.json records — and fails if it regresses
+// more than 25% past the committed figure.
+
+import (
+	"encoding/json"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"spin/internal/codegen"
+	"spin/internal/dispatch"
+	"spin/internal/rtti"
+)
+
+// smokeTrajectory is the subset of the BENCH_dispatch.json schema the gate
+// reads: the most recent entry carrying a native.smoke section wins.
+type smokeTrajectory struct {
+	Entries []struct {
+		Date   string `json:"date"`
+		Native struct {
+			Smoke *struct {
+				InlineBypassRatio float64 `json:"inline_bypass_ratio"`
+				TolerancePct      float64 `json:"tolerance_pct"`
+			} `json:"smoke"`
+		} `json:"native"`
+	} `json:"entries"`
+}
+
+// measureSerialNs runs fn through testing.Benchmark and reports ns/op,
+// failing the test if any iteration allocates (the smoke gate doubles as an
+// allocation tripwire on both shapes).
+func measureSerialNs(t *testing.T, label string, ev *dispatch.Event) float64 {
+	t.Helper()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.Raise1(uint64(7)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if allocs := res.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("%s: %d allocs/op, want 0", label, allocs)
+	}
+	return float64(res.T.Nanoseconds()) / float64(res.N)
+}
+
+// TestBenchSmokeInlinePlan is the opt-in perf gate: the specialized
+// inline-plan raise must stay within the committed inline/bypass ratio
+// plus tolerance. Run via `make benchsmoke`.
+func TestBenchSmokeInlinePlan(t *testing.T) {
+	if os.Getenv("SPIN_BENCH_SMOKE") != "1" {
+		t.Skip("benchmark smoke gate is opt-in: set SPIN_BENCH_SMOKE=1 (make benchsmoke)")
+	}
+
+	raw, err := os.ReadFile("BENCH_dispatch.json")
+	if err != nil {
+		t.Fatalf("reading trajectory file: %v", err)
+	}
+	var traj smokeTrajectory
+	if err := json.Unmarshal(raw, &traj); err != nil {
+		t.Fatalf("parsing BENCH_dispatch.json: %v", err)
+	}
+	committed, tolerance := 0.0, 25.0
+	for _, e := range traj.Entries {
+		if s := e.Native.Smoke; s != nil && s.InlineBypassRatio > 0 {
+			committed = s.InlineBypassRatio
+			if s.TolerancePct > 0 {
+				tolerance = s.TolerancePct
+			}
+		}
+	}
+	if committed == 0 {
+		t.Fatal("no entry in BENCH_dispatch.json carries native.smoke.inline_bypass_ratio")
+	}
+
+	// The bypass shape: one unguarded intrinsic handler, dispatched as a
+	// direct call — the floor the specialized plan is measured against.
+	sig := rtti.Sig(nil, rtti.Word)
+	bd := dispatch.New()
+	bypassEv, err := bd.DefineEvent("Smoke.Bypass", sig, dispatch.WithIntrinsic(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Smoke.H", Module: benchMod, Sig: sig},
+		Fn:   func(any, []any) any { return nil },
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The inline-plan shape mirrors BenchmarkRaiseParallel/inline-plan:
+	// five guarded inline handlers, one word argument, bypass disabled.
+	id := dispatch.New(dispatch.WithCodegenOptions(codegen.Options{DisableBypass: true}))
+	inlineEv, err := id.DefineEvent("Smoke.Inline", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cell atomic.Uint64
+	for i := 0; i < 5; i++ {
+		if _, err := inlineEv.Install(dispatch.Handler{
+			Proc:   &rtti.Proc{Name: "Smoke.H", Module: benchMod, Sig: sig},
+			Inline: codegen.Nop(),
+		}, dispatch.WithGuard(dispatch.Guard{Pred: codegen.GlobalEq(&cell, 0)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Warm both paths, then interleave measurements so slow drift (thermal,
+	// noisy neighbors) hits both shapes roughly equally.
+	measureSerialNs(t, "warmup-bypass", bypassEv)
+	measureSerialNs(t, "warmup-inline", inlineEv)
+	bestRatio := 0.0
+	for trial := 0; trial < 3; trial++ {
+		bypassNs := measureSerialNs(t, "bypass", bypassEv)
+		inlineNs := measureSerialNs(t, "inline-plan", inlineEv)
+		ratio := inlineNs / bypassNs
+		t.Logf("trial %d: bypass %.1f ns/op, inline-plan %.1f ns/op, ratio %.2fx", trial, bypassNs, inlineNs, ratio)
+		if bestRatio == 0 || ratio < bestRatio {
+			bestRatio = ratio
+		}
+	}
+
+	limit := committed * (1 + tolerance/100)
+	if bestRatio > limit {
+		t.Errorf("inline-plan/bypass ratio %.2fx exceeds committed %.2fx + %.0f%% tolerance (%.2fx): specialization regressed",
+			bestRatio, committed, tolerance, limit)
+	}
+}

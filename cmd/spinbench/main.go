@@ -9,6 +9,7 @@
 //	spinbench -table micro    §3.1 syscall/thread event overhead
 //	spinbench -table faults   raise throughput under injected handler panics
 //	spinbench -table overload throughput and shed rate vs. offered load
+//	spinbench -table inline   specialization ablation on the inline plan
 //	spinbench -table all      everything
 //	spinbench -disasm         dispatch plan disassembly tour
 //
@@ -37,7 +38,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1, 2, tree, install, async, micro, faults, overload, all")
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, tree, install, async, micro, faults, overload, inline, all")
 	disasm := flag.Bool("disasm", false, "show dispatch plan disassembly for representative events")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the formatted tables (seeds BENCH_dispatch.json)")
 	flag.Parse()
@@ -82,6 +83,13 @@ func main() {
 	if *table == "overload" {
 		if err := overloadTable(); err != nil {
 			fmt.Fprintf(os.Stderr, "spinbench: overload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// The inline ablation also measures native time, so it too is opt-in.
+	if *table == "inline" {
+		if err := inlineTable(); err != nil {
+			fmt.Fprintf(os.Stderr, "spinbench: inline: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -367,6 +375,77 @@ func faultsTable() error {
 	}
 	if err := measure("policy on, 1% faults", true, 100); err != nil {
 		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+// inlineTable is the Table-1-style ablation for plan specialization
+// (DESIGN.md decision 15), measured in native time on the inline-plan
+// shape (five guarded inline handlers, one word argument): the per-step
+// interpreter, the flattened guard tree through the generic executor, and
+// the fully shape-specialized executor, with the single-handler bypass
+// alongside as the floor the specialized plan is chasing.
+func inlineTable() error {
+	fmt.Println("Plan-specialization ablation on the inline plan (native time, 5 inline handlers, 1 word arg)")
+	sig := rtti.Sig(nil, rtti.Word)
+	mod := rtti.NewModule("Bench")
+	var bypassNs, specNs float64
+	measure := func(label string, opts codegen.Options, bypass bool) (float64, error) {
+		d := dispatch.New(dispatch.WithCodegenOptions(opts))
+		var ev *dispatch.Event
+		var err error
+		if bypass {
+			ev, err = d.DefineEvent("Bench.Inline", sig, dispatch.WithIntrinsic(dispatch.Handler{
+				Proc: &rtti.Proc{Name: "Bench.H", Module: mod, Sig: sig},
+				Fn:   func(any, []any) any { return nil },
+			}))
+		} else {
+			ev, err = d.DefineEvent("Bench.Inline", sig)
+		}
+		if err != nil {
+			return 0, err
+		}
+		if !bypass {
+			var cell atomic.Uint64
+			for i := 0; i < 5; i++ {
+				_, err := ev.Install(dispatch.Handler{
+					Proc:   &rtti.Proc{Name: "Bench.H", Module: mod, Sig: sig},
+					Inline: codegen.Nop(),
+				}, dispatch.WithGuard(dispatch.Guard{Pred: codegen.GlobalEq(&cell, 0)}))
+				if err != nil {
+					return 0, err
+				}
+			}
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Raise1(uint64(7)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		fmt.Printf("  %-28s %7.1f ns/op  %d allocs/op\n", label, ns, res.AllocsPerOp())
+		return ns, nil
+	}
+	var err error
+	if bypassNs, err = measure("bypass (1 unguarded)", codegen.Options{}, true); err != nil {
+		return err
+	}
+	noBypass := codegen.Options{DisableBypass: true}
+	if _, err = measure("interpreter", codegen.Options{DisableBypass: true, DisableSpecialize: true}, false); err != nil {
+		return err
+	}
+	if _, err = measure("flattened tree (generic)", codegen.Options{DisableBypass: true, DisableShapeSpecialize: true}, false); err != nil {
+		return err
+	}
+	if specNs, err = measure("shape-specialized", noBypass, false); err != nil {
+		return err
+	}
+	if bypassNs > 0 {
+		fmt.Printf("  specialized/bypass ratio: %.2fx (acceptance bound 2.00x)\n", specNs/bypassNs)
 	}
 	fmt.Println()
 	return nil

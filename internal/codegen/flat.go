@@ -1,0 +1,502 @@
+package codegen
+
+import (
+	"context"
+	"sync/atomic"
+
+	"spin/internal/stripe"
+)
+
+// Ahead-of-time plan specialization — the reproduction's answer to the
+// paper's runtime code generation for the multi-binding case. The generic
+// interpreter in plan.go dispatches per step through the unit list,
+// `step.call`, and `Body.Run`, paying a chain of branches and an indirect
+// dispatch per step on every raise. SPIN's generator instead emitted one
+// straight-line stub per plan. Go cannot emit machine code at runtime, but
+// it can do the next-closest thing at plan-compile time:
+//
+//   - the guard decision structure is flattened: every step's guard
+//     conjunction (And-trees, multiple guards) is lowered into one
+//     contiguous array of leaf comparisons (flatPred) shared by the whole
+//     plan, evaluated by a branch-predictable switch with no recursion and
+//     no per-guard indirect call;
+//   - handler bodies are lowered into the step record (flatStep), so the
+//     common inline bodies run without touching *Body or *Binding;
+//   - one executor specialized over (arity 0..5/any) × (no-result,
+//     result-fold) × (guarded, unguarded) is selected once at compile time
+//     (flatExecs), so a raise runs straight-line code with no per-raise
+//     shape switching;
+//   - statistics are batched: per-binding fire counts go through one
+//     stripe shard index hoisted by the caller (Binding.FireCount), and the
+//     event-level fired total is added once per raise to Env.FiredTotal
+//     instead of once per firing through Env.OnFire — the striped-atomic
+//     traffic that dominated the inline-plan profile drops from 2 RMWs per
+//     firing plus 1 per raise to 1 per firing plus 2 per raise, all through
+//     one shard hash.
+//
+// Specialization is semantics-preserving and only replaces configurations
+// the interpreter handles bitwise-identically when the knobs below keep it
+// off; the differential fuzzers (FuzzPredCompile, FuzzTreeDispatch) compare
+// every specialized shape against naive reference evaluation.
+//
+// Eligibility (compileFlat): every step synchronous and unfiltered, no
+// fault-capture hook (recovery barriers are open-coded in the interpreter),
+// no decision-tree unit (the hashed lookup beats a linear flat scan for the
+// ≥4-way runs trees cover), and no unguarded direct bypass (already a plain
+// call). Metered raises (Env.CPU != nil) always take the interpreter so the
+// virtual-time charge sequence stays byte-identical to the ablation tables.
+
+// flatPred ops beyond the inlinable PredOp leaves: an arbitrary predicate
+// subtree evaluated through Pred.Eval, and an out-of-line guard function.
+const (
+	predOpTree PredOp = -1
+	predOpCall PredOp = -2
+)
+
+// flatPred is one lowered guard leaf. All leaves of a step's guard
+// conjunction are contiguous in Plan.flatPreds; evaluation short-circuits
+// at the first failing leaf.
+type flatPred struct {
+	op   PredOp
+	arg  int
+	k    uint64
+	cell *atomic.Uint64
+	tree *Pred   // predOpTree: Or/Not subtree, evaluated via Eval
+	fn   GuardFn // predOpCall: out-of-line guard
+	clo  any
+}
+
+// flatStep is one pre-lowered dispatch step: guard range, handler body,
+// and statistics hook, with no pointer chase through step/Binding/Body on
+// the hot path.
+type flatStep struct {
+	// g0 is the step's first guard leaf, embedded so the overwhelmingly
+	// common single-guard step never touches the shared pool; its zero
+	// value (PredTrue) always passes. p0..p1 index any remaining leaves in
+	// Plan.flatPreds.
+	g0     flatPred
+	p0, p1 int32
+	// Inline body, embedded (inline == true).
+	inline bool
+	bop    BodyOp
+	bv     any
+	bcell  *atomic.Uint64
+	bk     uint64
+	barg   int
+	// Out-of-line body (inline == false).
+	fn    HandlerFn
+	ctxFn CtxHandlerFn
+	clo   any
+	// Statistics: per-binding fire counter (may be nil) and the opaque tag
+	// for the per-fire Env.OnFire fallback.
+	fire *stripe.Counter
+	tag  any
+}
+
+// ExecFn is a compiled executor: selected once per plan, called per raise.
+// stripeIdx is the caller's hoisted stripe shard index (stripe.Index()),
+// reused for every striped counter the raise touches.
+type ExecFn func(p *Plan, env *Env, args []any, stripeIdx int) Outcome
+
+// flattenPred lowers a guard predicate into conjunction leaves. Top-level
+// And-trees split into their leaves; True leaves are elided (guards are
+// FUNCTIONAL, so elision is unobservable); any other composite (Or, Not)
+// stays a single Eval-fallback leaf. Returns false when the predicate can
+// never pass (a constant-false leaf under DisablePeephole still lowers —
+// the step simply never fires, same as the interpreter).
+func flattenPred(p *Pred, out []flatPred) []flatPred {
+	switch p.Op {
+	case PredAnd:
+		return flattenPred(p.R, flattenPred(p.L, out))
+	case PredTrue:
+		return out
+	case PredFalse:
+		return append(out, flatPred{op: PredFalse})
+	case PredGlobalEq, PredGlobalNe:
+		if p.Cell == nil {
+			// Pred.Eval treats a nil cell as false; preserve that.
+			return append(out, flatPred{op: PredFalse})
+		}
+		return append(out, flatPred{op: p.Op, cell: p.Cell, k: p.K})
+	case PredArgEq, PredArgNe, PredArgLt:
+		return append(out, flatPred{op: p.Op, arg: p.Arg, k: p.K})
+	default:
+		return append(out, flatPred{op: predOpTree, tree: p})
+	}
+}
+
+// lowerBody fills a flatStep's body fields from one binding, mirroring
+// step.call / Plan.runBinding exactly: the inline body runs embedded when
+// the step compiled inline; otherwise CtxFn is preferred over Fn.
+func (fs *flatStep) lowerBody(b *Binding, inline bool) {
+	fs.inline = inline
+	fs.tag = b.Tag
+	fs.fire = b.FireCount
+	if inline {
+		body := b.Inline
+		fs.bop = body.Op
+		fs.bv = body.V
+		fs.bcell = body.Cell
+		fs.bk = body.K
+		fs.barg = body.Arg
+		return
+	}
+	fs.fn = b.Fn
+	fs.ctxFn = b.CtxFn
+	fs.clo = b.Closure
+}
+
+// compileFlat lowers the plan into its flattened form and selects the
+// specialized executor, or leaves the plan on the interpreter when any
+// step needs machinery the straight-line executors do not carry.
+func (p *Plan) compileFlat() {
+	if p.opts.DisableSpecialize || p.protect != nil || p.direct != nil {
+		return
+	}
+	for i := range p.units {
+		if p.units[i].single == nil {
+			return // decision tree: hashed lookup beats a flat scan
+		}
+	}
+	for i := range p.steps {
+		b := p.steps[i].b
+		if b.Async || b.Ephemeral || b.Filter {
+			return
+		}
+	}
+	flat := make([]flatStep, len(p.steps))
+	var preds []flatPred
+	for i := range p.steps {
+		st := &p.steps[i]
+		fs := &flat[i]
+		start := len(preds)
+		for gi := range st.guards {
+			g := &st.guards[gi]
+			switch {
+			case g.Pred != nil:
+				// With inlining disabled the interpreter still evaluates the
+				// predicate out of line via Eval; lowering it to leaves is
+				// observationally identical (metered charge differences do
+				// not apply — metered raises take the interpreter).
+				preds = flattenPred(g.Pred, preds)
+			default:
+				preds = append(preds, flatPred{op: predOpCall, fn: g.Fn, clo: g.Closure})
+			}
+		}
+		if len(preds) > start {
+			// Hoist the first leaf into the step record; the pool keeps the
+			// slot so later steps' ranges stay simple offsets.
+			fs.g0 = preds[start]
+			fs.p0 = int32(start + 1)
+		} else {
+			fs.p0 = int32(start)
+		}
+		fs.p1 = int32(len(preds))
+		fs.lowerBody(st.b, st.inline)
+	}
+	var def *flatStep
+	if b := p.defaultB; b != nil {
+		def = &flatStep{}
+		def.lowerBody(b, b.Inline != nil && !p.opts.DisableInline)
+	}
+	p.flat = flat
+	p.flatPreds = preds
+	p.flatDefault = def
+
+	res := 0
+	if p.info.HasResult {
+		res = 1
+	}
+	g := 0
+	if len(preds) > 0 {
+		g = 1
+	}
+	ar := p.info.Arity
+	if ar > 5 || p.opts.DisableShapeSpecialize {
+		ar = arityAnyIdx
+	}
+	if p.opts.DisableShapeSpecialize {
+		// Ablation middle tier: flattened guard trees and lowered bodies,
+		// but the one generic-shape executor (arity-any, guard loop always
+		// present) instead of the compile-time-selected variant.
+		g = 1
+	}
+	p.flatExec = flatExecs[ar][res][g]
+}
+
+// Specialized reports whether the plan compiled to a flattened,
+// shape-specialized executor (for tests and disassembly).
+func (p *Plan) Specialized() bool { return p.flatExec != nil }
+
+// GuardedBypass reports whether the plan is a single guarded step compiled
+// straight-line — the guarded resident of the bypass tier: the dispatcher
+// skips the interpreter entirely and the executor runs one embedded guard
+// conjunction and one embedded body with no step loop. (The unguarded
+// resident is Direct.)
+func (p *Plan) GuardedBypass() bool {
+	return p.flatExec != nil && len(p.flat) == 1 && len(p.flatPreds) > 0
+}
+
+// FastExec returns the plan's specialized executor when the plan can be
+// raised without any per-raise branching beyond the executor itself: a
+// flattened plan with no tracing compiled in (traced plans must draw the
+// sampling decision, which Execute handles). The dispatcher hoists the
+// returned function past the interpreter entirely — this is how
+// guard-constant and single-inline-guard plans reach the bypass tier.
+// Returns nil when the caller must use Execute.
+func (p *Plan) FastExec() ExecFn {
+	if p.prog != nil {
+		return nil
+	}
+	return p.flatExec
+}
+
+// Shape markers. The executor is instantiated over every (arity, result,
+// guarded) combination so each shape is a distinct straight-line function
+// chosen once at compile time. Each marker has a distinct size on purpose:
+// Go's gcshape stenciling folds all zero-size type arguments into one
+// shared instantiation whose shape methods dispatch through a generics
+// dictionary at run time. Distinct sizes force a fully stenciled
+// instantiation per shape, so the methods below resolve to constants at
+// compile time and each executor's dead branches (the guard walk in
+// unguarded shapes, the result fold in void shapes) are eliminated
+// outright — the closest Go gets to the paper's per-plan generated stubs.
+type (
+	arity0   [1]byte
+	arity1   [2]byte
+	arity2   [3]byte
+	arity3   [4]byte
+	arity4   [5]byte
+	arity5   [6]byte
+	arityAny [7]byte
+)
+
+const arityAnyIdx = 6
+
+type (
+	resultVoid [1]byte
+	resultFold [2]byte
+)
+
+type (
+	unguarded [1]byte
+	guarded   [2]byte
+)
+
+type aritySpec interface{ arity() int }
+
+func (arity0) arity() int   { return 0 }
+func (arity1) arity() int   { return 1 }
+func (arity2) arity() int   { return 2 }
+func (arity3) arity() int   { return 3 }
+func (arity4) arity() int   { return 4 }
+func (arity5) arity() int   { return 5 }
+func (arityAny) arity() int { return -1 }
+
+type resultSpec interface{ hasResult() bool }
+
+func (resultVoid) hasResult() bool { return false }
+func (resultFold) hasResult() bool { return true }
+
+type guardSpec interface{ guarded() bool }
+
+func (unguarded) guarded() bool { return false }
+func (guarded) guarded() bool   { return true }
+
+// runFlatBody executes one lowered step body and returns its result,
+// mirroring step.call exactly.
+func runFlatBody(s *flatStep, args []any) any {
+	if s.inline {
+		switch s.bop {
+		case BodyReturnConst:
+			return s.bv
+		case BodyAddWord:
+			if s.bcell != nil {
+				s.bcell.Add(s.bk)
+			}
+		case BodyReturnArg:
+			if s.barg >= 0 && s.barg < len(args) {
+				return args[s.barg]
+			}
+		}
+		return nil
+	}
+	if s.ctxFn != nil {
+		return s.ctxFn(context.Background(), s.clo, args)
+	}
+	return s.fn(s.clo, args)
+}
+
+// execFlat is the one executor body behind every specialized shape. The
+// type parameters pin the shape at instantiation: because the marker types
+// have distinct sizes (see above), every entry in flatExecs is its own
+// stenciled function where hasResult/useGuards are compile-time constants
+// and the branches they gate are folded away.
+//
+// Statistics protocol: when env.FiredTotal is set (the dispatcher's
+// batched path), per-binding counts go to FireCount through the caller's
+// hoisted stripe shard index and the event total is added once at the end;
+// otherwise the executor falls back to the interpreter's per-fire
+// env.OnFire contract, so direct codegen users observe identical callbacks.
+func execFlat[A aritySpec, R resultSpec, G guardSpec](p *Plan, env *Env, args []any, idx int) Outcome {
+	var aSpec A
+	var rSpec R
+	var gSpec G
+	_ = aSpec.arity()
+	hasResult := rSpec.hasResult()
+	useGuards := gSpec.guarded()
+
+	onFire := env.OnFire
+	fired := env.FiredTotal
+	batched := fired != nil
+	preds := p.flatPreds
+	flat := p.flat
+	var out Outcome
+	var haveResult bool
+steps:
+	for i := range flat {
+		s := &flat[i]
+		if useGuards {
+			// The embedded first leaf (g0) evaluates without touching the
+			// shared pool; pooled leaves (p0..p1) follow. One switch in the
+			// source serves both, walked leaf-by-leaf.
+			pr := &s.g0
+			j := s.p0
+			for {
+				switch pr.op {
+				case PredGlobalEq:
+					if pr.cell.Load() != pr.k {
+						continue steps
+					}
+				case PredGlobalNe:
+					if pr.cell.Load() == pr.k {
+						continue steps
+					}
+				case PredArgEq:
+					if w, ok := argWord(args, pr.arg); !ok || w != pr.k {
+						continue steps
+					}
+				case PredArgNe:
+					if w, ok := argWord(args, pr.arg); !ok || w == pr.k {
+						continue steps
+					}
+				case PredArgLt:
+					if w, ok := argWord(args, pr.arg); !ok || w >= pr.k {
+						continue steps
+					}
+				case PredFalse:
+					continue steps
+				case predOpTree:
+					if !pr.tree.Eval(args) {
+						continue steps
+					}
+				case predOpCall:
+					if !pr.fn(pr.clo, args) {
+						continue steps
+					}
+				}
+				if j >= s.p1 {
+					break
+				}
+				pr = &preds[j]
+				j++
+			}
+		}
+		// The inline-body cases are open-coded (rather than calling
+		// runFlatBody) so the common Nop/ReturnConst/AddWord bodies run
+		// without a call frame.
+		var res any
+		if s.inline {
+			switch s.bop {
+			case BodyReturnConst:
+				res = s.bv
+			case BodyAddWord:
+				if s.bcell != nil {
+					s.bcell.Add(s.bk)
+				}
+			case BodyReturnArg:
+				if s.barg >= 0 && s.barg < len(args) {
+					res = args[s.barg]
+				}
+			}
+		} else if s.ctxFn != nil {
+			res = s.ctxFn(context.Background(), s.clo, args)
+		} else {
+			res = s.fn(s.clo, args)
+		}
+		out.Fired++
+		if batched {
+			if s.fire != nil {
+				s.fire.AddAt(idx, 1)
+			}
+		} else if onFire != nil {
+			onFire(s.tag)
+		}
+		if hasResult {
+			if p.resultFn != nil {
+				out.Result = p.resultFn(out.Result, res, out.Fired-1)
+			} else {
+				if haveResult {
+					out.Ambiguous = true
+				}
+				out.Result = res
+				haveResult = true
+			}
+		}
+	}
+	if out.Fired == 0 && p.flatDefault != nil {
+		d := p.flatDefault
+		out.Result = runFlatBody(d, args)
+		out.UsedDefault = true
+		if batched {
+			if d.fire != nil {
+				d.fire.AddAt(idx, 1)
+			}
+		} else if onFire != nil {
+			onFire(d.tag)
+		}
+	}
+	if batched {
+		n := out.Fired
+		if out.UsedDefault {
+			n++
+		}
+		if n > 0 {
+			fired.AddAt(idx, int64(n))
+		}
+	}
+	return out
+}
+
+// flatExecs is the compile-time selection table:
+// [arity 0..5, any][void, result-fold][unguarded, guarded].
+var flatExecs = [7][2][2]ExecFn{
+	{
+		{execFlat[arity0, resultVoid, unguarded], execFlat[arity0, resultVoid, guarded]},
+		{execFlat[arity0, resultFold, unguarded], execFlat[arity0, resultFold, guarded]},
+	},
+	{
+		{execFlat[arity1, resultVoid, unguarded], execFlat[arity1, resultVoid, guarded]},
+		{execFlat[arity1, resultFold, unguarded], execFlat[arity1, resultFold, guarded]},
+	},
+	{
+		{execFlat[arity2, resultVoid, unguarded], execFlat[arity2, resultVoid, guarded]},
+		{execFlat[arity2, resultFold, unguarded], execFlat[arity2, resultFold, guarded]},
+	},
+	{
+		{execFlat[arity3, resultVoid, unguarded], execFlat[arity3, resultVoid, guarded]},
+		{execFlat[arity3, resultFold, unguarded], execFlat[arity3, resultFold, guarded]},
+	},
+	{
+		{execFlat[arity4, resultVoid, unguarded], execFlat[arity4, resultVoid, guarded]},
+		{execFlat[arity4, resultFold, unguarded], execFlat[arity4, resultFold, guarded]},
+	},
+	{
+		{execFlat[arity5, resultVoid, unguarded], execFlat[arity5, resultVoid, guarded]},
+		{execFlat[arity5, resultFold, unguarded], execFlat[arity5, resultFold, guarded]},
+	},
+	{
+		{execFlat[arityAny, resultVoid, unguarded], execFlat[arityAny, resultVoid, guarded]},
+		{execFlat[arityAny, resultFold, unguarded], execFlat[arityAny, resultFold, guarded]},
+	},
+}

@@ -1,0 +1,199 @@
+package codegen
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"spin/internal/stripe"
+	"spin/internal/vtime"
+)
+
+// nopFaultHook satisfies FaultHook for eligibility tests.
+type nopFaultHook struct{}
+
+func (nopFaultHook) HandlerPanic(any, any, []byte) {}
+func (nopFaultHook) GuardPanic(any, any, []byte)   {}
+func (nopFaultHook) SyncCost(any, vtime.Duration)  {}
+
+// guardedBindings builds n bindings each guarded by an always-true global
+// comparison, the canonical flat-eligible shape.
+func guardedBindings(n int, count *int) []*Binding {
+	cell := new(atomic.Uint64)
+	bs := make([]*Binding, n)
+	for i := range bs {
+		bs[i] = &Binding{
+			Guards: []Guard{{Pred: GlobalEq(cell, 0)}},
+			Fn:     countingHandler(count, nil),
+		}
+	}
+	return bs
+}
+
+func TestSpecializeEligibility(t *testing.T) {
+	n := 0
+	mkPlan := func(mut func(*Binding), opts Options) *Plan {
+		bs := guardedBindings(2, &n)
+		if mut != nil {
+			mut(bs[0])
+		}
+		return Compile(info(1, false), bs, nil, nil, opts)
+	}
+
+	if !mkPlan(nil, Options{}).Specialized() {
+		t.Error("guarded multi-binding plan must specialize")
+	}
+	if mkPlan(nil, Options{DisableSpecialize: true}).Specialized() {
+		t.Error("DisableSpecialize must keep the interpreter")
+	}
+	if !mkPlan(nil, Options{DisableShapeSpecialize: true}).Specialized() {
+		t.Error("DisableShapeSpecialize still flattens (generic shape)")
+	}
+	if mkPlan(func(b *Binding) { b.Async = true }, Options{}).Specialized() {
+		t.Error("async step must stay on the interpreter")
+	}
+	if mkPlan(func(b *Binding) { b.Ephemeral = true }, Options{}).Specialized() {
+		t.Error("ephemeral step must stay on the interpreter")
+	}
+	if mkPlan(func(b *Binding) { b.Filter = true }, Options{}).Specialized() {
+		t.Error("filter step must stay on the interpreter")
+	}
+	if mkPlan(nil, Options{Protect: nopFaultHook{}}).Specialized() {
+		t.Error("fault-protected plan must stay on the interpreter")
+	}
+
+	// An unguarded single binding compiles to the direct bypass, not a
+	// flat executor; a guarded single binding compiles to the guarded
+	// bypass (single straight-line flat step).
+	single := &Binding{Fn: countingHandler(&n, nil)}
+	p := Compile(info(0, false), []*Binding{single}, nil, nil, Options{})
+	if p.Direct() == nil || p.Specialized() {
+		t.Error("unguarded single binding must use the direct bypass")
+	}
+	gb := Compile(info(1, false),
+		guardedBindings(1, &n), nil, nil, Options{})
+	if gb.Direct() != nil || !gb.GuardedBypass() {
+		t.Errorf("guarded single binding must use the guarded bypass (direct=%v specialized=%v)",
+			gb.Direct() != nil, gb.Specialized())
+	}
+
+	// A decision-tree run stays on the interpreter's hashed lookup.
+	tree := make([]*Binding, treeThreshold)
+	for i := range tree {
+		tree[i] = &Binding{
+			Guards: []Guard{{Pred: ArgEq(0, uint64(i))}},
+			Fn:     countingHandler(&n, nil),
+		}
+	}
+	tp := Compile(info(1, false), tree, nil, nil, Options{EnableDecisionTree: true})
+	if tp.Specialized() {
+		t.Error("decision-tree plan must stay on the interpreter")
+	}
+}
+
+func TestSpecializedExecutesIdentically(t *testing.T) {
+	cell := new(atomic.Uint64)
+	fired := []string{}
+	mark := func(name string) HandlerFn {
+		return func(any, []any) any { fired = append(fired, name); return name }
+	}
+	bs := []*Binding{
+		{Guards: []Guard{{Pred: ArgEq(0, 80)}}, Fn: mark("http")},
+		{Guards: []Guard{{Pred: And(GlobalEq(cell, 0), ArgEq(0, 443))}}, Fn: mark("https")},
+		{Guards: []Guard{{Fn: func(_ any, args []any) bool { return true }}}, Fn: mark("all")},
+	}
+	run := func(opts Options, args ...any) ([]string, Outcome) {
+		p := Compile(info(1, true), bs, nil, nil, opts)
+		fired = nil
+		out := p.Execute(&Env{}, args)
+		return fired, out
+	}
+	for _, args := range [][]any{{uint64(80)}, {uint64(443)}, {uint64(7)}} {
+		want, wantOut := run(Options{DisableSpecialize: true}, args...)
+		for _, opts := range []Options{{}, {DisableShapeSpecialize: true}} {
+			got, gotOut := run(opts, args...)
+			if len(got) != len(want) {
+				t.Fatalf("opts %+v args %v: fired %v, interpreter %v", opts, args, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("opts %+v args %v: order %v, interpreter %v", opts, args, got, want)
+				}
+			}
+			if gotOut != wantOut {
+				t.Fatalf("opts %+v args %v: outcome %+v, interpreter %+v", opts, args, gotOut, wantOut)
+			}
+		}
+	}
+}
+
+func TestSpecializedDefaultHandler(t *testing.T) {
+	n := 0
+	d := &Binding{Fn: func(any, []any) any { return "default" }}
+	p := Compile(info(1, true), guardedBindings(1, &n), nil, d, Options{})
+	if !p.Specialized() {
+		t.Fatal("plan with default handler should still specialize")
+	}
+	// Guard cell is 0 -> handler fires, no default.
+	out := p.Execute(&Env{}, []any{uint64(1)})
+	if out.Fired != 1 || out.UsedDefault {
+		t.Fatalf("fired=%d usedDefault=%v", out.Fired, out.UsedDefault)
+	}
+	// Fail the guard: the default must fire and be counted batched.
+	cell2 := new(atomic.Uint64)
+	cell2.Store(9)
+	bs := []*Binding{{
+		Guards: []Guard{{Pred: GlobalEq(cell2, 0)}},
+		Fn:     countingHandler(&n, nil),
+	}}
+	p2 := Compile(info(1, true), bs, nil, d, Options{})
+	var total stripe.Counter
+	out = p2.Execute(&Env{FiredTotal: &total}, []any{uint64(1)})
+	if out.Fired != 0 || !out.UsedDefault || out.Result != "default" {
+		t.Fatalf("default not applied: %+v", out)
+	}
+	if total.Load() != 1 {
+		t.Fatalf("batched total %d after default firing, want 1", total.Load())
+	}
+}
+
+// TestMeteredChargeParity pins the zero-cost-off contract for metering:
+// a metered raise must charge the identical virtual-time sequence whether
+// or not the plan carries a specialized executor, because metered raises
+// always run the interpreter.
+func TestMeteredChargeParity(t *testing.T) {
+	n := 0
+	args := []any{uint64(1)}
+	costs := make(map[bool]vtime.Duration)
+	for _, disable := range []bool{false, true} {
+		p := Compile(info(1, false), guardedBindings(3, &n), nil, nil,
+			Options{DisableSpecialize: disable})
+		if p.Specialized() == disable {
+			t.Fatalf("DisableSpecialize=%v: Specialized()=%v", disable, p.Specialized())
+		}
+		costs[disable] = meteredExec(p, args)
+	}
+	if costs[false] != costs[true] {
+		t.Fatalf("metered cost diverges with specialization: on=%v off=%v",
+			costs[false], costs[true])
+	}
+}
+
+// TestSpecializedStatsFallback pins the per-fire OnFire contract for
+// direct codegen users: without Env.FiredTotal the specialized executor
+// reports each firing through OnFire exactly like the interpreter.
+func TestSpecializedStatsFallback(t *testing.T) {
+	n := 0
+	bs := guardedBindings(3, &n)
+	for i, b := range bs {
+		b.Tag = i
+	}
+	p := Compile(info(1, false), bs, nil, nil, Options{})
+	if !p.Specialized() {
+		t.Fatal("expected specialized plan")
+	}
+	var tags []any
+	p.Execute(&Env{OnFire: func(tag any) { tags = append(tags, tag) }}, []any{uint64(1)})
+	if len(tags) != 3 || tags[0] != 0 || tags[1] != 1 || tags[2] != 2 {
+		t.Fatalf("OnFire fallback tags: %v", tags)
+	}
+}

@@ -4,14 +4,16 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"spin/internal/stripe"
 	"spin/internal/trace"
 )
 
 // Differential fuzzing: the optimized compiled plan — peephole
 // simplification, guard reordering, inline evaluation, the single-binding
-// bypass, the decision tree, and the traced twin routine — must fire
-// exactly the same handlers, in the same order, as a naive reference model
-// that walks the binding list evaluating every guard verbatim.
+// bypass, the decision tree, the flattened shape-specialized executors,
+// and the traced twin routine — must fire exactly the same handlers, in
+// the same order, as a naive reference model that walks the binding list
+// evaluating every guard verbatim.
 
 // fuzzReader decodes a fuzz input byte stream; exhausted streams yield
 // zeros so every input is a complete (if boring) program.
@@ -36,7 +38,13 @@ func genPred(r *fuzzReader, depth int, arity int, cell *atomic.Uint64) *Pred {
 	if depth <= 0 && op >= 7 {
 		op %= 7 // leaves only at the depth bound
 	}
-	arg := int(r.byte()) % arity
+	argB := r.byte()
+	arg := 0
+	if arity > 0 {
+		arg = int(argB) % arity
+	} else if op >= 2 && op <= 4 {
+		op = 5 + op%2 // arity 0 has no arguments: remap to global cells
+	}
 	k := uint64(r.byte() % 4)
 	switch op {
 	case 0:
@@ -80,7 +88,7 @@ func FuzzPredCompile(f *testing.F) {
 	f.Add([]byte{2, 0, 1, 3, 1, 2})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := &fuzzReader{data: data}
-		arity := 1 + int(r.byte()%3)
+		arity := int(r.byte() % 6) // 0..5: every specialized arity shape
 		var cell atomic.Uint64
 		cell.Store(uint64(r.byte() % 4))
 		pred := genPred(r, 3, arity, &cell)
@@ -107,6 +115,8 @@ func FuzzPredCompile(f *testing.F) {
 			{},
 			{DisableInline: true, DisableBypass: true},
 			{DisablePeephole: true},
+			{DisableSpecialize: true},
+			{DisableShapeSpecialize: true},
 		} {
 			plan := Compile(EventInfo{Name: "Fuzz.Pred", Arity: arity},
 				[]*Binding{binding}, nil, nil, opts)
@@ -129,8 +139,11 @@ func FuzzPredCompile(f *testing.F) {
 }
 
 // FuzzTreeDispatch compiles a random binding list under every optimizer
-// configuration — including the decision tree and the traced routine — and
-// checks each fires the same handler sequence as the reference model.
+// configuration — including the decision tree, the flattened
+// shape-specialized executors, and the traced routine — and checks each
+// fires the same handler sequence as the reference model, merges results
+// identically, and produces the same statistics totals through the
+// per-fire and batched counting protocols.
 func FuzzTreeDispatch(f *testing.F) {
 	// A decision-tree-shaped seed: six consecutive ArgEq guards on arg 0.
 	f.Add([]byte{0, 6, 1, 0, 1, 1, 0, 2, 1, 0, 3, 1, 0, 0, 1, 0, 1, 1, 0, 2, 0, 1, 2, 3})
@@ -138,8 +151,10 @@ func FuzzTreeDispatch(f *testing.F) {
 	f.Add([]byte{2, 8})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := &fuzzReader{data: data}
-		arity := 1 + int(r.byte()%3)
+		arity := int(r.byte() % 7) // 0..6: every arity shape plus arity-any
 		n := 1 + int(r.byte()%10)
+		hasResult := r.byte()%2 == 1
+		foldResults := hasResult && r.byte()%2 == 1
 		var cell atomic.Uint64
 		cell.Store(uint64(r.byte() % 4))
 
@@ -152,13 +167,24 @@ func FuzzTreeDispatch(f *testing.F) {
 			case 3: // arbitrary predicate tree
 				preds[i] = genPred(r, 2, arity, &cell)
 			default: // ArgEq, biased so consecutive runs form decision trees
-				preds[i] = ArgEq(int(r.byte())%arity, uint64(r.byte()%4))
+				argB := int(r.byte())
+				k := uint64(r.byte() % 4)
+				if arity == 0 {
+					preds[i] = GlobalEq(&cell, k)
+				} else {
+					preds[i] = ArgEq(argB%arity, k)
+				}
 			}
 			i := i
 			bindings[i] = &Binding{
-				Fn:   func(any, []any) any { fired = append(fired, i); return nil },
-				Name: "fuzz.H",
+				Fn: func(any, []any) any {
+					fired = append(fired, i)
+					return uint64(i)
+				},
+				Name:      "fuzz.H",
+				FireCount: new(stripe.Counter),
 			}
+			bindings[i].Tag = i
 			if preds[i] != nil {
 				bindings[i].Guards = []Guard{{Pred: preds[i]}}
 			}
@@ -174,19 +200,32 @@ func FuzzTreeDispatch(f *testing.F) {
 			return out
 		}
 
+		var resultFn ResultFn
+		if foldResults {
+			resultFn = func(acc, res any, index int) any {
+				if index == 0 {
+					return res
+				}
+				return acc.(uint64) + res.(uint64)
+			}
+		}
+
 		tracer := trace.New(trace.Config{Capacity: 64})
-		info := EventInfo{Name: "Fuzz.Tree", Arity: arity}
+		info := EventInfo{Name: "Fuzz.Tree", Arity: arity, HasResult: hasResult}
 		configs := []Options{
 			{},
 			{EnableDecisionTree: true},
 			{DisableInline: true, DisableBypass: true, DisablePeephole: true},
 			{EnableDecisionTree: true, Trace: tracer}, // traced twin routine
+			{DisableSpecialize: true},                 // pure interpreter
+			{DisableShapeSpecialize: true},            // flattened, generic shape
+			{Trace: tracer},                           // sampling entry over flat-eligible plans
 		}
 		for trial := 0; trial < 4; trial++ {
 			args := genArgs(r, arity)
 			want := naive(args)
 			for _, opts := range configs {
-				plan := Compile(info, bindings, nil, nil, opts)
+				plan := Compile(info, bindings, resultFn, nil, opts)
 				fired = nil
 				out := plan.Execute(&Env{}, args)
 				if len(fired) != len(want) {
@@ -200,6 +239,67 @@ func FuzzTreeDispatch(f *testing.F) {
 				if out.Fired != len(want) {
 					t.Fatalf("opts %+v args %v: Outcome.Fired %d, model %d",
 						opts, args, out.Fired, len(want))
+				}
+				if hasResult && len(want) > 0 {
+					var wantRes uint64
+					if foldResults {
+						for _, i := range want {
+							wantRes += uint64(i)
+						}
+					} else {
+						wantRes = uint64(want[len(want)-1])
+					}
+					if got, ok := out.Result.(uint64); !ok || got != wantRes {
+						t.Fatalf("opts %+v args %v: result %v, model %d",
+							opts, args, out.Result, wantRes)
+					}
+					if wantAmb := !foldResults && len(want) > 1; out.Ambiguous != wantAmb {
+						t.Fatalf("opts %+v args %v: ambiguous %v, model %v",
+							opts, args, out.Ambiguous, wantAmb)
+					}
+				}
+
+				// Statistics twins: the per-fire OnFire protocol must match
+				// the model for every plan, and on specialized untraced plans
+				// (the only ones that take the batched route) the batched
+				// FireCount/FiredTotal protocol must produce the same totals.
+				perFire := make([]int64, n)
+				fired = nil
+				plan.Execute(&Env{OnFire: func(tag any) {
+					if i, ok := tag.(int); ok {
+						perFire[i]++
+					}
+				}}, args)
+				for i, got := range perFire {
+					var wantN int64
+					for _, w := range want {
+						if w == i {
+							wantN++
+						}
+					}
+					if got != wantN {
+						t.Fatalf("opts %+v args %v binding %d: per-fire %d, model %d",
+							opts, args, i, got, wantN)
+					}
+				}
+				if plan.Specialized() && opts.Trace == nil {
+					before := make([]int64, n)
+					for i, b := range bindings {
+						before[i] = b.FireCount.Load()
+					}
+					var total stripe.Counter
+					fired = nil
+					plan.Execute(&Env{FiredTotal: &total}, args)
+					if total.Load() != int64(len(want)) {
+						t.Fatalf("opts %+v args %v: batched total %d, model %d",
+							opts, args, total.Load(), len(want))
+					}
+					for i, b := range bindings {
+						if batched := b.FireCount.Load() - before[i]; batched != perFire[i] {
+							t.Fatalf("opts %+v args %v binding %d: per-fire %d, batched %d",
+								opts, args, i, perFire[i], batched)
+						}
+					}
 				}
 			}
 		}

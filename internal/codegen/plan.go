@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"spin/internal/admit"
+	"spin/internal/stripe"
 	"spin/internal/trace"
 	"spin/internal/vtime"
 )
@@ -81,6 +82,11 @@ type Binding struct {
 	// Tag is an opaque back-pointer for the dispatcher (statistics,
 	// termination reporting). The generator never inspects it.
 	Tag any
+	// FireCount, when non-nil, is the binding's striped fire counter. The
+	// specialized executors (flat.go) increment it directly through one
+	// hoisted stripe shard index per raise instead of calling Env.OnFire
+	// per firing; the interpreter ignores it and keeps the OnFire contract.
+	FireCount *stripe.Counter
 	// Name is the handler's qualified procedure name, used only to label
 	// trace spans; the generated code never inspects it.
 	Name string
@@ -125,6 +131,15 @@ type Options struct {
 	// through a hash on the argument word instead of a linear guard
 	// scan. Off by default, matching the measured system; see tree.go.
 	EnableDecisionTree bool
+	// DisableSpecialize keeps every plan on the per-step interpreter,
+	// disabling the ahead-of-time flattened, shape-specialized executors
+	// (flat.go) — the "interpreter" row of the specialization ablation.
+	DisableSpecialize bool
+	// DisableShapeSpecialize keeps the flattened guard/body lowering but
+	// always selects the one generic-shape executor instead of the
+	// compile-time (arity × result × guarded) variant — the ablation's
+	// middle tier, isolating flattening from shape selection.
+	DisableShapeSpecialize bool
 	// IncrementalInstall switches handler installation from full plan
 	// regeneration (cost linear in the bindings present; O(n^2) for n
 	// installs, §3.1) to an incremental append (constant cost per
@@ -202,6 +217,14 @@ type Plan struct {
 	// admitQ is the admission queue compiled into the plan
 	// (Options.Admit); nil plans spawn asynchronous work unqueued.
 	admitQ *admit.Queue
+	// Ahead-of-time specialization (flat.go): the flattened step array, the
+	// shared guard-leaf pool its steps index into, the lowered default
+	// handler, and the shape-specialized executor selected at compile time.
+	// All nil/empty when the plan stays on the interpreter.
+	flat        []flatStep
+	flatPreds   []flatPred
+	flatDefault *flatStep
+	flatExec    ExecFn
 }
 
 // Env supplies the execution hooks the generated routine needs from the
@@ -232,6 +255,14 @@ type Env struct {
 	// OnFire, if non-nil, is called with the binding tag each time a
 	// handler fires (including default handlers).
 	OnFire func(tag any)
+	// FiredTotal, if non-nil, switches the specialized executors to
+	// batched statistics: per-binding counts go directly to
+	// Binding.FireCount and the number of handlers that fired (including a
+	// default-handler firing) is added to FiredTotal once per raise, all
+	// through the caller's hoisted stripe shard index. The interpreter and
+	// the traced twin ignore it and keep the per-fire OnFire contract; a
+	// raise produces the same counter totals either way.
+	FiredTotal *stripe.Counter
 }
 
 // Outcome reports what a raise did.
@@ -286,6 +317,7 @@ func Compile(info EventInfo, bindings []*Binding, resultFn ResultFn, defaultB *B
 		}
 	}
 	p.units = buildUnits(p.steps, opts.EnableDecisionTree)
+	p.compileFlat()
 	if opts.Trace != nil {
 		// Register the plan's step layout with the tracer: span records
 		// carry only (program, step) indices, and the registry resolves
@@ -431,6 +463,15 @@ func (p *Plan) Execute(env *Env, args []any) Outcome {
 		}
 	}
 	cpu := env.CPU
+	if p.flatExec != nil && cpu == nil {
+		// Unmetered raise on a specialized plan: straight-line executor.
+		// Metered raises stay on the interpreter below so the virtual-time
+		// charge sequence is byte-identical with specialization on or off.
+		// (The dispatcher normally calls the executor directly via FastExec
+		// with its own hoisted stripe index; this route serves direct
+		// codegen users and the unsampled raises of traced plans.)
+		return p.flatExec(p, env, args, stripe.Index())
+	}
 	if p.direct != nil {
 		cpu.Charge(vtime.CallDirect)
 		cpu.ChargeN(vtime.CallDirectArg, p.info.Arity)
@@ -667,6 +708,14 @@ func (p *Plan) Disassemble() string {
 	if p.direct != nil {
 		sb.WriteString("  direct call (dispatcher bypassed)\n")
 		return sb.String()
+	}
+	if p.flatExec != nil {
+		if p.GuardedBypass() {
+			sb.WriteString("  specialized: guarded bypass (single straight-line step)\n")
+		} else {
+			fmt.Fprintf(&sb, "  specialized: flattened executor (%d steps, %d guard leaves)\n",
+				len(p.flat), len(p.flatPreds))
+		}
 	}
 	writeStep := func(indent string, i int, st *step) {
 		fmt.Fprintf(&sb, "%sstep %d:", indent, i)

@@ -244,6 +244,7 @@ func (b *Binding) compile(d *Dispatcher) *codegen.Binding {
 		Filter:    b.filter,
 		Tag:       b,
 		Name:      b.HandlerName(),
+		FireCount: &b.fired,
 	}
 	for _, g := range b.guards {
 		cb.Guards = append(cb.Guards, d.compileGuard(b, g))

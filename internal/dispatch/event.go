@@ -9,6 +9,7 @@ import (
 	"spin/internal/admit"
 	"spin/internal/codegen"
 	"spin/internal/rtti"
+	"spin/internal/stripe"
 	"spin/internal/trace"
 	"spin/internal/vtime"
 )
@@ -383,6 +384,12 @@ func (e *Event) newEnv() *codegen.Env {
 				b.fired.Add(1)
 			}
 		},
+		// Batched statistics for the specialized executors: per-binding
+		// counts go straight to Binding.fired (codegen.Binding.FireCount)
+		// and the event total lands here once per raise, all through one
+		// hoisted stripe index — same totals as OnFire, a fraction of the
+		// atomic RMWs and shard hashes.
+		FiredTotal: &e.firedTotal,
 	}
 }
 
@@ -398,11 +405,47 @@ func (e *Event) raiseWith(plan *codegen.Plan, args []any) (result any, err error
 	if err := e.checkArgs(args); err != nil {
 		return nil, err
 	}
-	e.raised.Add(1)
+	// One stripe shard hash serves every striped counter this raise
+	// touches: the raised total here, the per-binding fire counts and the
+	// fired total inside the specialized executor.
+	idx := stripe.Index()
+	e.raised.AddAt(idx, 1)
+	if e.d.purity {
+		// Purity checking installs guard monitors that report a mutating
+		// FUNCTIONAL guard by panicking inside plan execution; only then
+		// does the raise need a recover barrier. The production path below
+		// carries none.
+		return e.raiseMonitored(plan, args)
+	}
+
+	var out codegen.Outcome
+	if cpu := e.d.cpu; cpu == nil {
+		// Unmetered: skip all virtual-time accounting up front instead of
+		// paying a nil check per meter call inside the plan. Specialized
+		// plans — flattened guard trees, shape-selected executor, batched
+		// statistics — hoist past the interpreter entirely; this is the
+		// bypass tier for guard-constant and single-inline-guard plans
+		// (GuardedBypass) as well as every other flat-eligible shape.
+		if fe := plan.FastExec(); fe != nil {
+			out = fe(plan, e.env, args, idx)
+		} else {
+			out = plan.Execute(e.env, args)
+		}
+	} else {
+		cpu.Begin(vtime.AccountEvents)
+		start := cpu.Now()
+		out = plan.Execute(e.env, args)
+		e.timeNanos.Add(int64(cpu.Now().Sub(start)))
+		cpu.End()
+	}
+	return e.finishRaise(out)
+}
+
+// raiseMonitored is raiseWith's purity-checking tail: identical execution
+// behind a recover barrier that surfaces the monitor's ErrGuardMutatedArgs
+// panic as an error at the raise point.
+func (e *Event) raiseMonitored(plan *codegen.Plan, args []any) (result any, err error) {
 	defer func() {
-		// The purity monitor reports a mutating FUNCTIONAL guard by
-		// panicking inside plan execution; surface it as an error at
-		// the raise point.
 		if r := recover(); r != nil {
 			if r == ErrGuardMutatedArgs {
 				result, err = nil, fmt.Errorf("%w: event %s", ErrGuardMutatedArgs, e.name)
@@ -411,11 +454,8 @@ func (e *Event) raiseWith(plan *codegen.Plan, args []any) (result any, err error
 			panic(r)
 		}
 	}()
-
 	var out codegen.Outcome
 	if cpu := e.d.cpu; cpu == nil {
-		// Unmetered: skip all virtual-time accounting up front instead of
-		// paying a nil check per meter call inside the plan.
 		out = plan.Execute(e.env, args)
 	} else {
 		cpu.Begin(vtime.AccountEvents)
@@ -424,7 +464,11 @@ func (e *Event) raiseWith(plan *codegen.Plan, args []any) (result any, err error
 		e.timeNanos.Add(int64(cpu.Now().Sub(start)))
 		cpu.End()
 	}
+	return e.finishRaise(out)
+}
 
+// finishRaise maps a plan outcome to the raise result and error contract.
+func (e *Event) finishRaise(out codegen.Outcome) (any, error) {
 	if out.Fired == 0 && !out.UsedDefault {
 		return nil, fmt.Errorf("%w: %s", ErrNoHandler, e.name)
 	}

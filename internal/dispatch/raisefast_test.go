@@ -131,6 +131,87 @@ func TestRaiseOutOfLinePlanZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestSpecializedExecutorZeroAllocs asserts the remaining specialized
+// executor shapes raise with zero heap allocations: the guarded bypass
+// (single guarded straight-line step), result folding over out-of-line
+// handlers, a default-handler firing, and the arity-any executor beyond
+// the shape-specialized range.
+func TestSpecializedExecutorZeroAllocs(t *testing.T) {
+	d := New(WithCodegenOptions(codegen.Options{DisableBypass: true}))
+
+	// Guarded bypass: one guarded inline handler.
+	gb, err := d.DefineEvent("Fast.GuardedBypass", fastSig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cell atomic.Uint64
+	if _, err := gb.Install(Handler{
+		Proc:   &rtti.Proc{Name: "RaiseFast.GB", Module: fastMod, Sig: fastSig(1)},
+		Inline: codegen.Nop(),
+	}, WithGuard(Guard{Pred: codegen.GlobalEq(&cell, 0)})); err != nil {
+		t.Fatal(err)
+	}
+	if !gb.Plan().GuardedBypass() {
+		t.Fatal("single guarded inline handler should compile to the guarded bypass")
+	}
+	if n := testing.AllocsPerRun(1000, func() { _, _ = gb.Raise1(uint64(1)) }); n != 0 {
+		t.Errorf("guarded bypass allocates %v/op, want 0", n)
+	}
+
+	// Result fold over out-of-line handlers.
+	rf, err := d.DefineEvent("Fast.ResultFold", rtti.Sig(rtti.Word, rtti.Word))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		v := uint64(i)
+		if _, err := rf.Install(Handler{
+			Proc: &rtti.Proc{Name: "RaiseFast.RF", Module: fastMod, Sig: rtti.Sig(rtti.Word, rtti.Word)},
+			Fn:   func(any, []any) any { return v },
+		}, WithGuard(Guard{Pred: codegen.GlobalEq(&cell, 0)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rf.SetResultHandler(func(acc, res any, index int) any {
+		if index == 0 {
+			return res
+		}
+		return acc.(uint64) + res.(uint64)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !rf.Plan().Specialized() {
+		t.Fatal("result-fold plan should specialize")
+	}
+	if n := testing.AllocsPerRun(1000, func() { _, _ = rf.Raise1(uint64(1)) }); n != 0 {
+		t.Errorf("result fold allocates %v/op, want 0", n)
+	}
+	if res, err := rf.Raise1(uint64(1)); err != nil || res != uint64(0+1+2) {
+		t.Fatalf("result fold = %v, %v; want 3", res, err)
+	}
+
+	// Arity-any executor: arity 6 exceeds the shape-specialized range.
+	wide, err := d.DefineEvent("Fast.Wide", fastSig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := wide.Install(Handler{
+			Proc:   &rtti.Proc{Name: "RaiseFast.W", Module: fastMod, Sig: fastSig(6)},
+			Inline: codegen.Nop(),
+		}, WithGuard(Guard{Pred: codegen.GlobalEq(&cell, 0)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !wide.Plan().Specialized() {
+		t.Fatal("arity-6 plan should specialize to the arity-any executor")
+	}
+	av := []any{uint64(1), uint64(2), uint64(3), uint64(4), uint64(5), uint64(6)}
+	if n := testing.AllocsPerRun(1000, func() { _, _ = wide.Raise(av...) }); n != 0 {
+		t.Errorf("arity-any executor allocates %v/op, want 0", n)
+	}
+}
+
 // TestArityRaiseSemantics checks every arity entry point against the
 // variadic path: same argument values delivered, same errors surfaced.
 func TestArityRaiseSemantics(t *testing.T) {

@@ -1,55 +1,10 @@
 package dispatch
 
-import (
-	"sync/atomic"
-	"unsafe"
-)
+import "spin/internal/stripe"
 
-// numStripes is the number of independent shards in a stripedCounter. A
-// power of two so the index reduces with a mask. Eight shards cover the
-// core counts the parallel-raise benchmarks sweep; beyond that, collisions
-// only degrade toward the old single-atomic behaviour, never past it.
-const numStripes = 8
-
-// counterStripe is one shard, padded out to a 64-byte cache line so
-// adjacent shards never false-share (§3's "procedure call cost" target is
-// unreachable if every raise bounces a contended line between cores).
-type counterStripe struct {
-	n atomic.Int64
-	_ [56]byte
-}
-
-// stripedCounter is a statistics counter sharded across cache-line-padded
-// cells. Hot-path increments go to a per-goroutine shard; reads sum all
-// shards. Increments are atomic and never lost, so a Load that races with
-// Adds returns some valid intermediate total — exactly the guarantee the
-// old single atomic gave.
-type stripedCounter struct {
-	stripes [numStripes]counterStripe
-}
-
-// Add increments the counter on the calling goroutine's shard.
-func (c *stripedCounter) Add(delta int64) {
-	c.stripes[stripeIndex()].n.Add(delta)
-}
-
-// Load sums the shards.
-func (c *stripedCounter) Load() int64 {
-	var sum int64
-	for i := range c.stripes {
-		sum += c.stripes[i].n.Load()
-	}
-	return sum
-}
-
-// stripeIndex picks a shard for the calling goroutine. Go exposes no
-// goroutine or P identity, so it hashes the address of a stack variable:
-// goroutine stacks live in distinct allocations, so concurrent raisers
-// spread across shards, while any single goroutine stays on one shard for
-// a given call depth. The shift discards the within-frame bits (stacks are
-// 2KiB-granular at minimum).
-func stripeIndex() int {
-	var marker byte
-	p := uintptr(unsafe.Pointer(&marker))
-	return int((p >> 11) & (numStripes - 1))
-}
+// stripedCounter is the dispatcher's statistics counter, sharded across
+// cache-line-padded cells; see internal/stripe. It moved to its own package
+// so the code generator's specialized executors can update per-binding fire
+// counts through the same stripes (codegen.Binding.FireCount) with one
+// hoisted shard index per raise.
+type stripedCounter = stripe.Counter
