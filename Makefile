@@ -42,6 +42,7 @@ race:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzPredCompile -fuzztime 10s -run '^$$' ./internal/codegen/
 	$(GO) test -fuzz FuzzTreeDispatch -fuzztime 10s -run '^$$' ./internal/codegen/
+	$(GO) test -fuzz FuzzBatchDispatch -fuzztime 10s -run '^$$' ./internal/codegen/
 
 # The fault-injection suite under the race detector: quarantine and
 # probation recompiles race against concurrent raises, watchdog timers race
@@ -65,7 +66,7 @@ bench:
 # stay within 25% of the committed inline/bypass ratio recorded in
 # BENCH_dispatch.json. Ratio-based so it is meaningful on any host.
 benchsmoke:
-	SPIN_BENCH_SMOKE=1 $(GO) test -run TestBenchSmokeInlinePlan -count=1 -v .
+	SPIN_BENCH_SMOKE=1 $(GO) test -run 'TestBenchSmokeInlinePlan|TestBenchSmokeBatch' -count=1 -v .
 
 # CPU profile of the parallel raise benchmarks. EXPERIMENTS.md ("Reading
 # the inline-plan profile") explains what to look for in the output of

@@ -28,6 +28,11 @@ type smokeTrajectory struct {
 			Smoke *struct {
 				InlineBypassRatio float64 `json:"inline_bypass_ratio"`
 				TolerancePct      float64 `json:"tolerance_pct"`
+				// Batch64SingleRatio is a floor, not a midpoint: a
+				// 64-frame RaiseBatch1 train on the bypass shape must
+				// sustain at least this multiple of single-raise
+				// throughput. Tolerance is baked into the figure.
+				Batch64SingleRatio float64 `json:"batch64_single_ratio"`
 			} `json:"smoke"`
 		} `json:"native"`
 	} `json:"entries"`
@@ -129,5 +134,88 @@ func TestBenchSmokeInlinePlan(t *testing.T) {
 	if bestRatio > limit {
 		t.Errorf("inline-plan/bypass ratio %.2fx exceeds committed %.2fx + %.0f%% tolerance (%.2fx): specialization regressed",
 			bestRatio, committed, tolerance, limit)
+	}
+}
+
+// measureBatchNs reports per-frame ns for 64-frame RaiseBatch1 trains,
+// failing the test if any iteration allocates: the batched hot path must
+// stay allocation-free just like the single-raise one.
+func measureBatchNs(t *testing.T, label string, ev *dispatch.Event) float64 {
+	t.Helper()
+	const n = 64
+	flat := make([]any, n)
+	for i := range flat {
+		flat[i] = uint64(7)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i += n {
+			if out := ev.RaiseBatch1(flat); out.Raised != n {
+				b.Fatalf("RaiseBatch1: raised %d of %d", out.Raised, n)
+			}
+		}
+	})
+	if allocs := res.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("%s: %d allocs/op, want 0", label, allocs)
+	}
+	return float64(res.T.Nanoseconds()) / float64(res.N)
+}
+
+// TestBenchSmokeBatch is the opt-in perf gate for the batched raise
+// ingress: a 64-frame RaiseBatch1 train on the single-handler bypass shape
+// must sustain at least the committed multiple of single-raise throughput
+// (native.smoke.batch64_single_ratio in BENCH_dispatch.json — a floor with
+// tolerance baked in). Run via `make benchsmoke`.
+func TestBenchSmokeBatch(t *testing.T) {
+	if os.Getenv("SPIN_BENCH_SMOKE") != "1" {
+		t.Skip("benchmark smoke gate is opt-in: set SPIN_BENCH_SMOKE=1 (make benchsmoke)")
+	}
+
+	raw, err := os.ReadFile("BENCH_dispatch.json")
+	if err != nil {
+		t.Fatalf("reading trajectory file: %v", err)
+	}
+	var traj smokeTrajectory
+	if err := json.Unmarshal(raw, &traj); err != nil {
+		t.Fatalf("parsing BENCH_dispatch.json: %v", err)
+	}
+	floor := 0.0
+	for _, e := range traj.Entries {
+		if s := e.Native.Smoke; s != nil && s.Batch64SingleRatio > 0 {
+			floor = s.Batch64SingleRatio
+		}
+	}
+	if floor == 0 {
+		t.Fatal("no entry in BENCH_dispatch.json carries native.smoke.batch64_single_ratio")
+	}
+
+	sig := rtti.Sig(nil, rtti.Word)
+	d := dispatch.New()
+	ev, err := d.DefineEvent("Smoke.Batch", sig, dispatch.WithIntrinsic(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Smoke.H", Module: benchMod, Sig: sig},
+		Fn:   func(any, []any) any { return nil },
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm both paths, then interleave measurements so slow drift hits the
+	// single and batched measurements roughly equally.
+	measureSerialNs(t, "warmup-single", ev)
+	measureBatchNs(t, "warmup-batch", ev)
+	bestSpeedup := 0.0
+	for trial := 0; trial < 3; trial++ {
+		singleNs := measureSerialNs(t, "single", ev)
+		batchNs := measureBatchNs(t, "batch-64", ev)
+		speedup := singleNs / batchNs
+		t.Logf("trial %d: single %.1f ns/raise, batch-64 %.1f ns/raise, %.2fx", trial, singleNs, batchNs, speedup)
+		if speedup > bestSpeedup {
+			bestSpeedup = speedup
+		}
+	}
+
+	if bestSpeedup < floor {
+		t.Errorf("batch-64 speedup %.2fx is below the committed %.2fx floor: batched ingress regressed",
+			bestSpeedup, floor)
 	}
 }

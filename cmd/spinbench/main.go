@@ -10,6 +10,7 @@
 //	spinbench -table faults   raise throughput under injected handler panics
 //	spinbench -table overload throughput and shed rate vs. offered load
 //	spinbench -table inline   specialization ablation on the inline plan
+//	spinbench -table batch    batched raise ingress vs. single-raise loop
 //	spinbench -table all      everything
 //	spinbench -disasm         dispatch plan disassembly tour
 //
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1, 2, tree, install, async, micro, faults, overload, inline, all")
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, tree, install, async, micro, faults, overload, inline, batch, all")
 	disasm := flag.Bool("disasm", false, "show dispatch plan disassembly for representative events")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the formatted tables (seeds BENCH_dispatch.json)")
 	flag.Parse()
@@ -90,6 +91,13 @@ func main() {
 	if *table == "inline" {
 		if err := inlineTable(); err != nil {
 			fmt.Fprintf(os.Stderr, "spinbench: inline: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// The batched-ingress table measures native time as well: opt-in.
+	if *table == "batch" {
+		if err := batchTable(); err != nil {
+			fmt.Fprintf(os.Stderr, "spinbench: batch: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -446,6 +454,83 @@ func inlineTable() error {
 	}
 	if bypassNs > 0 {
 		fmt.Printf("  specialized/bypass ratio: %.2fx (acceptance bound 2.00x)\n", specNs/bypassNs)
+	}
+	fmt.Println()
+	return nil
+}
+
+// batchTable measures the batched raise ingress against a loop of single
+// raises (native time) on the two plan shapes the batch tier specializes:
+// the single-binding bypass (where the per-raise fixed costs dominate, so
+// amortization shows its full effect) and the five-guard inline plan
+// (where guard-walk work per frame bounds the win). Each row offers the
+// same raises, singly and as RaiseBatch1 trains of 1, 8, and 64 frames.
+func batchTable() error {
+	fmt.Println("Batched raise ingress vs. single-raise loop (native time, 1 word arg)")
+	sig := rtti.Sig(nil, rtti.Word)
+	mod := rtti.NewModule("Bench")
+	shape := func(label string, mk func() (*dispatch.Event, error)) error {
+		ev, err := mk()
+		if err != nil {
+			return err
+		}
+		single := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Raise1(uint64(7)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		singleNs := float64(single.T.Nanoseconds()) / float64(single.N)
+		fmt.Printf("  %-12s single        %7.1f ns/raise  %9.0f raises/s  %d allocs/op\n",
+			label, singleNs, 1e9/singleNs, single.AllocsPerOp())
+		for _, n := range []int{1, 8, 64} {
+			flat := make([]any, n)
+			for i := range flat {
+				flat[i] = uint64(7)
+			}
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i += n {
+					if out := ev.RaiseBatch1(flat); out.Raised != n {
+						b.Fatalf("batch outcome: %+v", out)
+					}
+				}
+			})
+			ns := float64(res.T.Nanoseconds()) / float64(res.N) // per frame: b.N counts frames
+			fmt.Printf("  %-12s batch n=%-4d  %7.1f ns/raise  %9.0f raises/s  %d allocs/op  (%.2fx single)\n",
+				label, n, ns, 1e9/ns, res.AllocsPerOp(), singleNs/ns)
+		}
+		return nil
+	}
+	if err := shape("bypass", func() (*dispatch.Event, error) {
+		d := dispatch.New()
+		return d.DefineEvent("Bench.Batch", sig, dispatch.WithIntrinsic(dispatch.Handler{
+			Proc: &rtti.Proc{Name: "Bench.H", Module: mod, Sig: sig},
+			Fn:   func(any, []any) any { return nil },
+		}))
+	}); err != nil {
+		return err
+	}
+	if err := shape("inline-plan", func() (*dispatch.Event, error) {
+		d := dispatch.New(dispatch.WithCodegenOptions(codegen.Options{DisableBypass: true}))
+		ev, err := d.DefineEvent("Bench.Batch", sig)
+		if err != nil {
+			return nil, err
+		}
+		var cell atomic.Uint64
+		for i := 0; i < 5; i++ {
+			if _, err := ev.Install(dispatch.Handler{
+				Proc:   &rtti.Proc{Name: "Bench.H", Module: mod, Sig: sig},
+				Inline: codegen.Nop(),
+			}, dispatch.WithGuard(dispatch.Guard{Pred: codegen.GlobalEq(&cell, 0)})); err != nil {
+				return nil, err
+			}
+		}
+		return ev, nil
+	}); err != nil {
+		return err
 	}
 	fmt.Println()
 	return nil

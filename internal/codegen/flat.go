@@ -222,6 +222,7 @@ func (p *Plan) compileFlat() {
 		g = 1
 	}
 	p.flatExec = flatExecs[ar][res][g]
+	p.flatBatchExec = flatBatchExecs[ar][res][g]
 }
 
 // Specialized reports whether the plan compiled to a flattened,

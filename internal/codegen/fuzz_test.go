@@ -305,3 +305,210 @@ func FuzzTreeDispatch(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBatchDispatch checks the batched executor tier against the same
+// reference the single-raise fuzzers use: for a random binding list and a
+// random frame stream, dispatching the stream as one unsplit batch, as a
+// sequence of randomly split sub-batches, and as a loop of single Execute
+// calls must fire the same handler sequence, fold the same outcome, and
+// settle the same FireCount/FiredTotal statistics under every optimizer
+// configuration.
+func FuzzBatchDispatch(f *testing.F) {
+	f.Add([]byte{1, 3, 0, 0, 1, 0, 1, 1, 0, 2, 8, 3, 1, 4, 0, 1, 2, 3, 0, 1, 2, 3})
+	f.Add([]byte{0, 6, 1, 0, 1, 1, 0, 2, 1, 0, 3, 1, 0, 0, 16, 0, 128, 2})
+	f.Add([]byte{3, 2, 1, 1, 3, 9, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzReader{data: data}
+		arity := int(r.byte() % 6) // 0..5: the flat batch shapes
+		n := 1 + int(r.byte()%8)
+		hasResult := r.byte()%2 == 1
+		foldResults := hasResult && r.byte()%2 == 1
+		var cell atomic.Uint64
+		cell.Store(uint64(r.byte() % 4))
+
+		var fired []int
+		preds := make([]*Pred, n)
+		bindings := make([]*Binding, n)
+		for i := 0; i < n; i++ {
+			switch r.byte() % 4 {
+			case 0: // unguarded
+			case 3:
+				preds[i] = genPred(r, 2, arity, &cell)
+			default:
+				argB := int(r.byte())
+				k := uint64(r.byte() % 4)
+				if arity == 0 {
+					preds[i] = GlobalEq(&cell, k)
+				} else {
+					preds[i] = ArgEq(argB%arity, k)
+				}
+			}
+			i := i
+			bindings[i] = &Binding{
+				Fn: func(any, []any) any {
+					fired = append(fired, i)
+					return uint64(i)
+				},
+				Name:      "fuzz.B",
+				FireCount: new(stripe.Counter),
+			}
+			bindings[i].Tag = i
+			if preds[i] != nil {
+				bindings[i].Guards = []Guard{{Pred: preds[i]}}
+			}
+		}
+
+		var resultFn ResultFn
+		if foldResults {
+			resultFn = func(acc, res any, index int) any {
+				if index == 0 {
+					return res
+				}
+				return acc.(uint64) + res.(uint64)
+			}
+		}
+
+		// The frame stream and a set of random split points over it.
+		nFrames := 1 + int(r.byte()%24)
+		frames := make([]ArgFrame, nFrames)
+		for i := range frames {
+			frames[i] = genArgs(r, arity)
+		}
+		splits := []int{0}
+		for at := 1 + int(r.byte()%4); at < nFrames; at += 1 + int(r.byte()%4) {
+			splits = append(splits, at)
+		}
+		splits = append(splits, nFrames)
+
+		// runBatch dispatches one frame span through ExecuteBatch, following
+		// the continuation contract (with live == nil the executor must
+		// consume every frame in one call, but the loop is the caller's
+		// contract either way).
+		runBatch := func(plan *Plan, env *Env, span []ArgFrame) BatchOutcome {
+			var out BatchOutcome
+			for len(span) > 0 {
+				o, m := plan.ExecuteBatch(env, span, 0, nil)
+				if m <= 0 {
+					t.Fatalf("ExecuteBatch made no progress on %d frames", len(span))
+				}
+				out.Fired += o.Fired
+				out.Defaulted += o.Defaulted
+				out.NoHandler += o.NoHandler
+				out.Ambiguous += o.Ambiguous
+				out.Result = o.Result
+				span = span[m:]
+			}
+			return out
+		}
+
+		// The env mirrors the dispatcher's: OnFire and FiredTotal land in the
+		// SAME counters, so a path that takes the batched protocol (flat and
+		// direct batch executors, flat single-raise) and a path that takes
+		// the per-fire callback (interpreter, traced twin, direct single
+		// raise) produce identical totals — which is exactly the equivalence
+		// the dispatch layer depends on.
+		mkEnv := func(total *stripe.Counter) *Env {
+			return &Env{
+				FiredTotal: total,
+				OnFire: func(tag any) {
+					total.Add(1)
+					if i, ok := tag.(int); ok {
+						bindings[i].FireCount.Add(1)
+					}
+				},
+			}
+		}
+
+		tracer := trace.New(trace.Config{Capacity: 64})
+		info := EventInfo{Name: "Fuzz.Batch", Arity: arity, HasResult: hasResult}
+		configs := []Options{
+			{},
+			{EnableDecisionTree: true},
+			{DisableInline: true, DisableBypass: true, DisablePeephole: true},
+			{EnableDecisionTree: true, Trace: tracer},
+			{DisableSpecialize: true},
+			{DisableShapeSpecialize: true},
+			{Trace: tracer},
+		}
+		for _, opts := range configs {
+			plan := Compile(info, bindings, resultFn, nil, opts)
+
+			// Reference: a loop of single raises, folded the way the batch
+			// tier folds.
+			var loopOut BatchOutcome
+			fired = nil
+			var loopTotal stripe.Counter
+			loopBase := make([]int64, n)
+			for i, b := range bindings {
+				loopBase[i] = b.FireCount.Load()
+			}
+			for _, fr := range frames {
+				loopOut.Add(plan.Execute(mkEnv(&loopTotal), fr))
+			}
+			loopFired := append([]int(nil), fired...)
+			loopCounts := make([]int64, n)
+			for i, b := range bindings {
+				loopCounts[i] = b.FireCount.Load() - loopBase[i]
+			}
+
+			check := func(label string, out BatchOutcome, gotFired []int, total int64, counts []int64) {
+				if len(gotFired) != len(loopFired) {
+					t.Fatalf("opts %+v %s: fired %v, loop %v", opts, label, gotFired, loopFired)
+				}
+				for i := range loopFired {
+					if gotFired[i] != loopFired[i] {
+						t.Fatalf("opts %+v %s: order %v, loop %v", opts, label, gotFired, loopFired)
+					}
+				}
+				if out != loopOut {
+					t.Fatalf("opts %+v %s: outcome %+v, loop %+v", opts, label, out, loopOut)
+				}
+				if total != loopTotal.Load() {
+					t.Fatalf("opts %+v %s: FiredTotal %d, loop %d", opts, label, total, loopTotal.Load())
+				}
+				for i := range counts {
+					if counts[i] != loopCounts[i] {
+						t.Fatalf("opts %+v %s binding %d: FireCount %d, loop %d",
+							opts, label, i, counts[i], loopCounts[i])
+					}
+				}
+			}
+
+			// One unsplit batch.
+			var total stripe.Counter
+			base := make([]int64, n)
+			for i, b := range bindings {
+				base[i] = b.FireCount.Load()
+			}
+			fired = nil
+			out := runBatch(plan, mkEnv(&total), frames)
+			counts := make([]int64, n)
+			for i, b := range bindings {
+				counts[i] = b.FireCount.Load() - base[i]
+			}
+			check("unsplit", out, fired, total.Load(), counts)
+
+			// The same stream as randomly split sub-batches.
+			var splitTotal stripe.Counter
+			for i, b := range bindings {
+				base[i] = b.FireCount.Load()
+			}
+			fired = nil
+			var splitOut BatchOutcome
+			for s := 0; s+1 < len(splits); s++ {
+				o := runBatch(plan, mkEnv(&splitTotal), frames[splits[s]:splits[s+1]])
+				splitOut.Fired += o.Fired
+				splitOut.Defaulted += o.Defaulted
+				splitOut.NoHandler += o.NoHandler
+				splitOut.Ambiguous += o.Ambiguous
+				if splits[s+1] > splits[s] {
+					splitOut.Result = o.Result
+				}
+			}
+			for i, b := range bindings {
+				counts[i] = b.FireCount.Load() - base[i]
+			}
+			check("split", splitOut, fired, splitTotal.Load(), counts)
+		}
+	})
+}

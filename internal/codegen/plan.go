@@ -225,6 +225,10 @@ type Plan struct {
 	flatPreds   []flatPred
 	flatDefault *flatStep
 	flatExec    ExecFn
+	// flatBatchExec is the batch-shaped twin of flatExec (flatbatch.go):
+	// the same stenciled guard walk and lowered bodies with the frame loop
+	// inside the executor, selected by the same shape indices.
+	flatBatchExec BatchExecFn
 }
 
 // Env supplies the execution hooks the generated routine needs from the
@@ -462,6 +466,13 @@ func (p *Plan) Execute(env *Env, args []any) Outcome {
 			return p.executeTraced(env, args, raise)
 		}
 	}
+	return p.execute(env, args)
+}
+
+// execute is Execute past the sampling decision: the untraced routine. The
+// batch entry points call it per frame after drawing one decision for the
+// whole batch.
+func (p *Plan) execute(env *Env, args []any) Outcome {
 	cpu := env.CPU
 	if p.flatExec != nil && cpu == nil {
 		// Unmetered raise on a specialized plan: straight-line executor.

@@ -401,9 +401,23 @@ func (e *Event) raiseSync(args []any) (any, error) {
 // arity-specialized entry points pass the plan they inspected for argument
 // retention, so a concurrent plan swap cannot invalidate their decision to
 // recycle the argument buffer.
-func (e *Event) raiseWith(plan *codegen.Plan, args []any) (result any, err error) {
-	if err := e.checkArgs(args); err != nil {
+func (e *Event) raiseWith(plan *codegen.Plan, args []any) (any, error) {
+	out, err := e.raiseOut(plan, args)
+	if err != nil {
 		return nil, err
+	}
+	return e.finishRaise(out)
+}
+
+// raiseOut is raiseWith before the outcome mapping: it validates, counts,
+// and executes one raise, returning the raw plan outcome. The error covers
+// argument validation and purity-monitor rejections — the cases a loop of
+// raises rejects before dispatch; finishRaise maps the outcome itself. The
+// batch fallback loop (raiseBatchLoop) calls it per frame so it can fold
+// outcomes without re-deriving them from the (any, error) contract.
+func (e *Event) raiseOut(plan *codegen.Plan, args []any) (codegen.Outcome, error) {
+	if err := e.checkArgs(args); err != nil {
+		return codegen.Outcome{}, err
 	}
 	// One stripe shard hash serves every striped counter this raise
 	// touches: the raised total here, the per-binding fire counts and the
@@ -415,7 +429,7 @@ func (e *Event) raiseWith(plan *codegen.Plan, args []any) (result any, err error
 		// FUNCTIONAL guard by panicking inside plan execution; only then
 		// does the raise need a recover barrier. The production path below
 		// carries none.
-		return e.raiseMonitored(plan, args)
+		return e.raiseOutMonitored(plan, args)
 	}
 
 	var out codegen.Outcome
@@ -438,23 +452,22 @@ func (e *Event) raiseWith(plan *codegen.Plan, args []any) (result any, err error
 		e.timeNanos.Add(int64(cpu.Now().Sub(start)))
 		cpu.End()
 	}
-	return e.finishRaise(out)
+	return out, nil
 }
 
-// raiseMonitored is raiseWith's purity-checking tail: identical execution
+// raiseOutMonitored is raiseOut's purity-checking tail: identical execution
 // behind a recover barrier that surfaces the monitor's ErrGuardMutatedArgs
 // panic as an error at the raise point.
-func (e *Event) raiseMonitored(plan *codegen.Plan, args []any) (result any, err error) {
+func (e *Event) raiseOutMonitored(plan *codegen.Plan, args []any) (out codegen.Outcome, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if r == ErrGuardMutatedArgs {
-				result, err = nil, fmt.Errorf("%w: event %s", ErrGuardMutatedArgs, e.name)
+				out, err = codegen.Outcome{}, fmt.Errorf("%w: event %s", ErrGuardMutatedArgs, e.name)
 				return
 			}
 			panic(r)
 		}
 	}()
-	var out codegen.Outcome
 	if cpu := e.d.cpu; cpu == nil {
 		out = plan.Execute(e.env, args)
 	} else {
@@ -464,7 +477,7 @@ func (e *Event) raiseMonitored(plan *codegen.Plan, args []any) (result any, err 
 		e.timeNanos.Add(int64(cpu.Now().Sub(start)))
 		cpu.End()
 	}
-	return e.finishRaise(out)
+	return out, nil
 }
 
 // finishRaise maps a plan outcome to the raise result and error contract.

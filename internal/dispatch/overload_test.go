@@ -35,12 +35,18 @@ func waitDrained(t *testing.T, q *admit.Queue, timeout time.Duration) admit.Queu
 // rate under each admission policy, asserting two invariants the subsystem
 // exists for: the goroutine count stays bounded by the pool (no unbounded
 // go-per-raise), and the queue ledger stays consistent — every submission
-// ends as exactly one of completed, shed, or coalesced. Run with -race.
+// ends as exactly one of completed, shed, or coalesced. Half the producers
+// submit through the batched ingress (RaiseBatch) while a churn goroutine
+// recompiles the plan underneath them — installs and uninstalls a
+// priority-classed handler, toggles tracing, and forces degradation-level
+// observations — so batched submission is soaked against every form of
+// concurrent plan swap. Run with -race.
 func TestOverloadSoak(t *testing.T) {
 	const (
 		workers   = 4
 		producers = 8
 		perProd   = 250
+		batchLen  = 25 // batched producers submit perProd frames as 10 batches
 	)
 	policies := map[string]admit.Policy{
 		"block":     {Mode: admit.Block, Depth: 16, BlockTimeout: time.Millisecond},
@@ -52,7 +58,12 @@ func TestOverloadSoak(t *testing.T) {
 	for name, pol := range policies {
 		pol := pol
 		t.Run(name, func(t *testing.T) {
-			d := New(WithAdmission(AdmissionConfig{Workers: workers, Default: &pol}))
+			d := New(WithAdmission(AdmissionConfig{
+				Workers: workers,
+				Default: &pol,
+				Levels:  []admit.Level{{Name: "brownout", QueueDepth: 8, MinPriority: 2}},
+				Hold:    1,
+			}))
 			e := mustDefine(t, d, "Load.Spin", rtti.Sig(nil, rtti.Word), AsAsync())
 			var ran atomic.Int64
 			_, err := e.Install(handler(voidProc("H", rtti.Word), func(any, []any) any {
@@ -69,8 +80,29 @@ func TestOverloadSoak(t *testing.T) {
 			var wg sync.WaitGroup
 			for p := 0; p < producers; p++ {
 				wg.Add(1)
+				batched := p%2 == 1
 				go func() {
 					defer wg.Done()
+					if batched {
+						// Batched ingress: the same perProd raises, submitted
+						// as trains through the vectorized path.
+						for b := 0; b < perProd/batchLen; b++ {
+							frames := make([]ArgFrame, batchLen)
+							for i := range frames {
+								frames[i] = ArgFrame{b*batchLen + i}
+							}
+							out := e.RaiseBatch(frames)
+							if out.Rejected != 0 {
+								t.Errorf("batch rejected %d frames: %v", out.Rejected, out.Err())
+								return
+							}
+							shedSeen.Add(int64(out.Shed))
+							if g := int64(runtime.NumGoroutine()); g > maxG.Load() {
+								maxG.Store(g)
+							}
+						}
+						return
+					}
 					for i := 0; i < perProd; i++ {
 						if err := e.RaiseAsync(i); err != nil {
 							if !errors.Is(err, admit.ErrOverload) {
@@ -85,7 +117,47 @@ func TestOverloadSoak(t *testing.T) {
 					}
 				}()
 			}
+			// Plan churn concurrent with the producers: recompilations from
+			// handler install/uninstall, trace toggling, and degradation
+			// observations (queue depth crosses the brownout threshold under
+			// this load, so levels genuinely move) — every raise and batch
+			// must land on some valid plan generation.
+			churnDone := make(chan struct{})
+			churnStopped := make(chan struct{})
+			go func() {
+				defer close(churnStopped)
+				tr := trace.New(trace.Config{Capacity: 1024})
+				extra := handler(voidProc("Churn", rtti.Word), func(any, []any) any {
+					return nil
+				})
+				for i := 0; ; i++ {
+					select {
+					case <-churnDone:
+						return
+					default:
+					}
+					b, err := e.Install(extra, WithPriority(2))
+					if err != nil {
+						t.Errorf("churn install: %v", err)
+						return
+					}
+					if i%2 == 0 {
+						e.Trace(tr)
+					} else {
+						e.Trace(nil)
+					}
+					d.ObserveAdmission()
+					time.Sleep(50 * time.Microsecond)
+					if err := e.Uninstall(b); err != nil {
+						t.Errorf("churn uninstall: %v", err)
+						return
+					}
+				}
+			}()
 			wg.Wait()
+			close(churnDone)
+			<-churnStopped
+			e.Trace(nil)
 			s := waitDrained(t, e.AdmissionQueue(), 10*time.Second)
 
 			// The soak offers ~10x what the pool drains; without admission

@@ -99,6 +99,14 @@ type Server struct {
 	// request, with the URL path as its argument.
 	Request *dispatch.Event
 
+	// Accepted is the Httpd.Accepted event: raised once per inbound
+	// connection, with the connection as its argument. The intrinsic
+	// handler spawns the connection strand; extensions interpose to
+	// observe or veto connections. The accept loop drains its backlog
+	// into one RaiseBatch per wakeup, so a burst of simultaneous
+	// connections pays the dispatch ingress once.
+	Accepted *dispatch.Event
+
 	readTimeout  vtime.Duration
 	writeTimeout vtime.Duration
 
@@ -156,6 +164,24 @@ func New(d *dispatch.Dispatcher, cfg Config) (*Server, error) {
 			return &Response{Status: 404, Body: []byte("not found\n")}
 		},
 	})
+	if err != nil {
+		return nil, err
+	}
+
+	acceptSig := rtti.Signature{Args: []rtti.Type{netstack.TCPConnType}}
+	s.Accepted, err = d.DefineEvent(cfg.Prefix+"Httpd.Accepted", acceptSig,
+		dispatch.WithIntrinsic(dispatch.Handler{
+			Proc: &rtti.Proc{Name: "Httpd.Accepted", Module: Module, Sig: acceptSig},
+			Fn: func(clo any, args []any) any {
+				conn := args[0].(*netstack.TCPConn)
+				if s.draining.Load() {
+					_ = conn.Close()
+					return nil
+				}
+				s.sched.Spawn("httpd-conn", 0, s.connHandler(conn))
+				return nil
+			},
+		}))
 	if err != nil {
 		return nil, err
 	}
@@ -234,19 +260,20 @@ func (s *Server) intrinsicRequest(clo any, args []any) any {
 	return &Response{Status: 200, Body: body}
 }
 
-// acceptLoop accepts connections and spawns a strand per connection.
+// acceptLoop drains the accept backlog into one batched raise of
+// Httpd.Accepted per wakeup; the event's intrinsic handler spawns the
+// per-connection strand.
 func (s *Server) acceptLoop(st *sched.Strand) sched.Status {
+	var burst []dispatch.ArgFrame
 	for {
 		conn, ok := s.listener.Accept()
 		if !ok {
 			break
 		}
-		if s.draining.Load() {
-			_ = conn.Close()
-			continue
-		}
-		c := conn
-		s.sched.Spawn("httpd-conn", 0, s.connHandler(c))
+		burst = append(burst, dispatch.ArgFrame{conn})
+	}
+	if len(burst) > 0 {
+		s.Accepted.RaiseBatch(burst)
 	}
 	s.listener.AwaitConn(st)
 	return sched.Block

@@ -277,14 +277,24 @@ func New(cfg Config) (*Stack, error) {
 		}
 	}
 
-	cfg.NIC.SetReceiver(func(f *netwire.Frame) {
-		s.cpu.ChargeTo(vtime.AccountKernel, vtime.Interrupt)
-		s.cpu.ChargeTo(vtime.AccountKernel, vtime.ProtoLayer) // Ethernet header parse
-		pkt, ok := f.Payload.(*Packet)
-		if !ok {
-			pkt = &Packet{EtherType: f.EtherType, SrcMAC: f.Src, DstMAC: f.Dst}
+	// Frames landing at the same virtual instant (back-to-back on the
+	// wire) arrive as one RX train and enter the dispatcher through the
+	// batched raise ingress. The per-frame costs are unchanged — one
+	// interrupt and one Ethernet header parse each, and the metered
+	// dispatcher keeps per-frame virtual-time charges identical to the
+	// single-raise path — batching amortizes only the dispatch ingress.
+	cfg.NIC.SetBatchReceiver(func(fs []*netwire.Frame) {
+		flat := make([]any, 0, 2*len(fs))
+		for _, f := range fs {
+			s.cpu.ChargeTo(vtime.AccountKernel, vtime.Interrupt)
+			s.cpu.ChargeTo(vtime.AccountKernel, vtime.ProtoLayer) // Ethernet header parse
+			pkt, ok := f.Payload.(*Packet)
+			if !ok {
+				pkt = &Packet{EtherType: f.EtherType, SrcMAC: f.Src, DstMAC: f.Dst}
+			}
+			flat = append(flat, uint64(pkt.EtherType), pkt)
 		}
-		_, _ = s.EtherArrived.Raise(uint64(pkt.EtherType), pkt)
+		s.EtherArrived.RaiseBatch2(flat)
 	})
 	return s, nil
 }

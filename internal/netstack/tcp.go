@@ -3,6 +3,7 @@ package netstack
 import (
 	"fmt"
 
+	"spin/internal/rtti"
 	"spin/internal/sched"
 	"spin/internal/vtime"
 )
@@ -108,6 +109,10 @@ func (l *TCPListener) Close() {
 	}
 }
 
+// TCPConnType is the rtti type of connection endpoints, so events can
+// carry a *TCPConn in a typed signature (the httpd's accept event).
+var TCPConnType = rtti.NewRef("TCPConn", nil)
+
 // TCPConn is one connection endpoint.
 type TCPConn struct {
 	stack      *Stack
@@ -127,6 +132,9 @@ type TCPConn struct {
 	SegsIn, SegsOut   int64
 	BytesIn, BytesOut int64
 }
+
+// RTTIType implements rtti.Described.
+func (c *TCPConn) RTTIType() rtti.Type { return TCPConnType }
 
 // DialTCP opens a connection to dstIP:dstPort. The SYN is sent
 // immediately; the caller's strand should block until Established reports

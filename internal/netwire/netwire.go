@@ -108,6 +108,12 @@ type NIC struct {
 	link *Link
 	addr string
 	recv func(f *Frame)
+	// recvB, when set, takes precedence over recv: frames arriving at the
+	// same virtual instant are delivered as one train (see
+	// SetBatchReceiver).
+	recvB      func(fs []*Frame)
+	rxTrain    []*Frame
+	flushArmed bool
 	// txBusyUntil serializes transmissions: a frame cannot start
 	// clocking out until the previous one has left the interface, so
 	// small frames never overtake large ones queued ahead of them.
@@ -123,6 +129,48 @@ func (n *NIC) Addr() string { return n.addr }
 // SetReceiver installs the receive-interrupt callback. The stack charges
 // its own interrupt cost inside the callback.
 func (n *NIC) SetReceiver(fn func(f *Frame)) { n.recv = fn }
+
+// SetBatchReceiver installs a train-coalescing receive callback: all
+// frames delivered to this NIC at the same virtual instant arrive in one
+// call, in wire order. This models interrupt coalescing on a busy
+// receiver — back-to-back frames queued behind one another on the wire
+// land in a single RX train — and is the producer feeding the
+// dispatcher's batched raise ingress. When set, it takes precedence over
+// SetReceiver.
+func (n *NIC) SetBatchReceiver(fn func(fs []*Frame)) { n.recvB = fn }
+
+// deliver hands one received frame to the NIC's callback: directly for a
+// plain receiver, or appended to the pending RX train for a batch
+// receiver, with the train flush scheduled behind every delivery already
+// queued at this instant (the simulator runs same-instant events FIFO).
+func (n *NIC) deliver(f *Frame) {
+	if n.recvB == nil {
+		n.recv(f)
+		return
+	}
+	n.rxTrain = append(n.rxTrain, f)
+	if !n.flushArmed {
+		n.flushArmed = true
+		n.link.sim.At(n.link.sim.Clock().Now(), n.flushTrain)
+	}
+}
+
+// flushTrain delivers the accumulated RX train. The buffer is detached
+// before the callback runs: handlers may send, and a later delivery
+// re-arms a fresh train.
+func (n *NIC) flushTrain() {
+	n.flushArmed = false
+	train := n.rxTrain
+	n.rxTrain = nil
+	n.recvB(train)
+	if n.rxTrain == nil {
+		// No re-entrant delivery claimed a new train; recycle the buffer.
+		n.rxTrain = train[:0]
+	}
+}
+
+// hasReceiver reports whether a delivery would reach a callback.
+func (n *NIC) hasReceiver() bool { return n.recv != nil || n.recvB != nil }
 
 // Send transmits a frame. Delivery is scheduled after the serialization
 // delay plus link latency; a frame to an unknown address is dropped
@@ -146,12 +194,12 @@ func (n *NIC) Send(f *Frame) error {
 		if dst == Broadcast {
 			delivered := false
 			for _, peer := range n.link.nics {
-				if peer == n || peer.recv == nil {
+				if peer == n || !peer.hasReceiver() {
 					continue
 				}
 				n.link.Frames++
 				peer.RxFrames++
-				peer.recv(f)
+				peer.deliver(f)
 				delivered = true
 			}
 			if !delivered {
@@ -160,13 +208,13 @@ func (n *NIC) Send(f *Frame) error {
 			return
 		}
 		peer, ok := n.link.nics[dst]
-		if !ok || peer.recv == nil {
+		if !ok || !peer.hasReceiver() {
 			n.link.Dropped++
 			return
 		}
 		n.link.Frames++
 		peer.RxFrames++
-		peer.recv(f)
+		peer.deliver(f)
 	})
 	return nil
 }

@@ -69,6 +69,10 @@ type (
 	ResultFn = dispatch.ResultFn
 	// Stats is an event's dispatch statistics snapshot.
 	Stats = dispatch.Stats
+	// ArgFrame is one raise's argument vector within a batch.
+	ArgFrame = dispatch.ArgFrame
+	// BatchOutcome reports how one RaiseBatch's frames were disposed.
+	BatchOutcome = dispatch.BatchOutcome
 )
 
 // Fault isolation (see internal/fault and DESIGN.md decision 12): handler
