@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint spinvet alloccheck build test race fuzz-smoke faultcheck overloadcheck bench benchsmoke profile tables json
+.PHONY: check vet lint spinvet alloccheck build test race fuzz-smoke faultcheck overloadcheck journalcheck bench benchsmoke profile tables json
 
 check: vet lint build test race
 
@@ -16,10 +16,11 @@ spinvet:
 	$(GO) run ./cmd/spinvet ./...
 
 # The standing allocation invariants from the fast-path, tracing, fault,
-# and overload PRs: a synchronous raise stays 0-alloc with tracing off,
-# with the fault policy on, and with admission enabled but no policy —
-# and trace recording itself never allocates. AllocsPerRun is unreliable
-# under the race detector, so this runs without -race.
+# overload, and journal PRs: a synchronous raise stays 0-alloc with
+# tracing off, with the fault policy on, with admission enabled but no
+# policy, and with the journal off or lifecycle-only — and trace
+# recording itself never allocates. AllocsPerRun is unreliable under the
+# race detector, so this runs without -race.
 alloccheck:
 	$(GO) test -run 'ZeroAlloc|DoesNotAllocate' -count=1 ./...
 
@@ -43,6 +44,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzPredCompile -fuzztime 10s -run '^$$' ./internal/codegen/
 	$(GO) test -fuzz FuzzTreeDispatch -fuzztime 10s -run '^$$' ./internal/codegen/
 	$(GO) test -fuzz FuzzBatchDispatch -fuzztime 10s -run '^$$' ./internal/codegen/
+	$(GO) test -fuzz FuzzJournalReplay -fuzztime 10s -run '^$$' ./internal/dispatch/
 
 # The fault-injection suite under the race detector: quarantine and
 # probation recompiles race against concurrent raises, watchdog timers race
@@ -56,6 +58,13 @@ faultcheck:
 # concurrent raises.
 overloadcheck:
 	$(GO) test -race -count=2 -run 'Overload|Shed|Admission|Admit|Degrad|Retry|Coalesce|Pool|Queue|Backoff|Timeout|Shutdown|Drain' ./internal/... .
+
+# The journal suite under the race detector: frame/CRC round-trips,
+# group-commit sealing, Merkle-chain tamper and truncation detection,
+# crash-tail recovery, and the three-way replay differential (live
+# source vs replayed twin vs symbolic oracle).
+journalcheck:
+	$(GO) test -race -count=2 -run 'Journal|Replay|Seal|Crash|Verify|Frame|GroupCommit|Sample|Tamper|Flush|Head|FileSink|Scan' ./internal/journal/ ./internal/dispatch/ ./internal/kernel/
 
 # Native (wall-clock) microbenchmarks, including the zero-allocation
 # parallel raise path.

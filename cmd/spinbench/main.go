@@ -11,6 +11,7 @@
 //	spinbench -table overload throughput and shed rate vs. offered load
 //	spinbench -table inline   specialization ablation on the inline plan
 //	spinbench -table batch    batched raise ingress vs. single-raise loop
+//	spinbench -table journal  lifecycle-journal raise overhead and group-commit latency
 //	spinbench -table all      everything
 //	spinbench -disasm         dispatch plan disassembly tour
 //
@@ -34,6 +35,7 @@ import (
 	"spin/internal/codegen"
 	"spin/internal/dispatch"
 	"spin/internal/fault"
+	"spin/internal/journal"
 	"spin/internal/rtti"
 	"spin/internal/vtime"
 )
@@ -98,6 +100,14 @@ func main() {
 	if *table == "batch" {
 		if err := batchTable(); err != nil {
 			fmt.Fprintf(os.Stderr, "spinbench: batch: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// The journal table measures native time and touches the filesystem
+	// (fsync latency): opt-in.
+	if *table == "journal" {
+		if err := journalTable(); err != nil {
+			fmt.Fprintf(os.Stderr, "spinbench: journal: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -531,6 +541,115 @@ func batchTable() error {
 		return ev, nil
 	}); err != nil {
 		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+// journalTable measures what the lifecycle journal costs the raise fast
+// path (native time, bypass shape, one word arg) at each sampling rate,
+// and what a group commit costs at each batch size. The journal-off row
+// is the acceptance bound: the plan carries no journal field, so it must
+// match the bare dispatcher within noise at 0 allocs/op. Sampling rows
+// use a MemSink so they price the dispatcher-side draw + enqueue, not
+// the disk. The flush sweep uses a FileSink (fsync per seal) so the
+// batch-size trade-off — durability window vs. per-record cost — is the
+// one an operator actually faces.
+func journalTable() error {
+	fmt.Println("Journaled raise overhead by sampling rate (native time, bypass shape, 1 word arg, MemSink)")
+	sig := rtti.Sig(nil, rtti.Word)
+	mod := rtti.NewModule("Bench")
+	var offNs float64
+	measure := func(label string, sample int) (float64, error) {
+		var opts []dispatch.Option
+		var j *journal.Journal
+		if sample >= 0 {
+			j = journal.New(journal.Config{
+				Sink:         journal.NewMemSink(),
+				SampleRaises: sample,
+				// Size-triggered seals only: the timer would add
+				// scheduler noise to the measurement.
+				FlushInterval: -1,
+			})
+			defer j.Close()
+			opts = append(opts, dispatch.WithJournal(j))
+		}
+		d := dispatch.New(opts...)
+		ev, err := d.DefineEvent("Bench.Journal", sig, dispatch.WithIntrinsic(dispatch.Handler{
+			Proc: &rtti.Proc{Name: "Bench.H", Module: mod, Sig: sig},
+			Fn:   func(any, []any) any { return nil },
+		}))
+		if err != nil {
+			return 0, err
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Raise1(uint64(7)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		trail := ""
+		if j != nil {
+			s := j.Stats()
+			trail = fmt.Sprintf("  (%d sampled, %d shed)", s.Submitted, s.DroppedRaises)
+		}
+		fmt.Printf("  %-18s %7.1f ns/op  %d allocs/op%s\n", label, ns, res.AllocsPerOp(), trail)
+		return ns, nil
+	}
+	var err error
+	if offNs, err = measure("journal off", -1); err != nil {
+		return err
+	}
+	for _, s := range []struct {
+		label  string
+		sample int
+	}{{"sampled 1/1024", 1024}, {"sampled 1/64", 64}, {"sampled 1/1", 1}} {
+		ns, err := measure(s.label, s.sample)
+		if err != nil {
+			return err
+		}
+		if s.sample == 1024 && offNs > 0 {
+			fmt.Printf("  1/1024 delta vs off: %+.1f%% (acceptance bound +5%%)\n", 100*(ns-offNs)/offNs)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Group-commit cost vs batch size (FileSink, fsync per seal, lifecycle records)")
+	dir, err := os.MkdirTemp("", "spinbench-journal")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	const total = 1 << 12
+	for _, batch := range []int{8, 64, 512} {
+		sink, err := journal.OpenFileSink(fmt.Sprintf("%s/b%d.sj", dir, batch))
+		if err != nil {
+			return err
+		}
+		j := journal.New(journal.Config{
+			Sink:          sink,
+			BatchRecords:  batch,
+			BatchBytes:    1 << 30, // record-count trigger only
+			FlushInterval: -1,
+		})
+		rec := journal.Record{Kind: journal.KindInstall, ID: 1,
+			Event: "Bench.Journal", Module: "Bench", Handler: "Bench.H"}
+		start := time.Now()
+		for i := 0; i < total; i++ {
+			j.Record(rec)
+		}
+		if err := j.Close(); err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		s := j.Stats()
+		perRec := float64(elapsed.Nanoseconds()) / total
+		perSeal := float64(elapsed.Microseconds()) / float64(s.Batches)
+		fmt.Printf("  batch=%-4d %4d seals  %7.0f ns/record  %8.1f us/commit  %6.1f KiB\n",
+			batch, s.Batches, perRec, perSeal, float64(s.Bytes)/1024)
 	}
 	fmt.Println()
 	return nil

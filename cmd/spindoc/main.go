@@ -4,9 +4,14 @@
 // machine running ghostview. It regenerates Table 3 (major events raised)
 // and the total/idle/X11/kernel/events time breakdown.
 //
-//	spindoc              run with the calibrated parameters
-//	spindoc -pages 24    preview a longer document
-//	spindoc -breakdown   print only the time breakdown
+// It doubles as the repo's schema-doc generator: -schema renders
+// reference documentation generated from the same tables the encoders
+// use, so the printed format cannot drift from the wire format.
+//
+//	spindoc                  run with the calibrated parameters
+//	spindoc -pages 24        preview a longer document
+//	spindoc -breakdown       print only the time breakdown
+//	spindoc -schema journal  print the lifecycle-journal record schema
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"spin/internal/journal"
 	"spin/internal/vtime"
 	"spin/internal/x11"
 )
@@ -22,7 +28,19 @@ func main() {
 	pages := flag.Int("pages", 0, "number of pages to preview (0 = calibrated default)")
 	pageKB := flag.Int("pagekb", 0, "page image size in KB (0 = calibrated default)")
 	breakdownOnly := flag.Bool("breakdown", false, "print only the time breakdown")
+	schema := flag.String("schema", "", "print a generated schema document instead of running (journal)")
 	flag.Parse()
+
+	if *schema != "" {
+		switch *schema {
+		case "journal":
+			fmt.Print(journal.SchemaDoc())
+		default:
+			fmt.Fprintf(os.Stderr, "spindoc: unknown schema %q (have: journal)\n", *schema)
+			os.Exit(2)
+		}
+		return
+	}
 
 	params := x11.Params{Pages: *pages, PageBytes: *pageKB * 1024}
 	r, err := x11.Run(params)

@@ -1,0 +1,172 @@
+// Command spinjournal inspects and replays dispatcher lifecycle journals
+// (see internal/journal and DESIGN.md decision 17).
+//
+//	spinjournal dump file.sj             print every record, batch by batch
+//	spinjournal verify file.sj           strict tamper check (CRC + Merkle chain)
+//	spinjournal verify -head HEX file.sj verify against an out-of-band head root
+//	spinjournal replay file.sj           reconstruct and print the symbolic state
+//
+// verify exits non-zero on any in-place edit, mid-file truncation, or
+// unsealed tail; replay applies only the sealed prefix and reports a
+// crash tail without trusting it.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+
+	"spin/internal/journal"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "dump":
+		err = dump(args)
+	case "verify":
+		err = verify(args)
+	case "replay":
+		err = replay(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spinjournal %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  spinjournal dump <file>              print every record, batch by batch
+  spinjournal verify [-head HEX] <file>  strict tamper check
+  spinjournal replay <file>            reconstruct the symbolic state
+`)
+}
+
+func readJournal(args []string) ([]byte, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("expected exactly one journal file, got %d args", len(args))
+	}
+	return os.ReadFile(args[0])
+}
+
+func dump(args []string) error {
+	data, err := readJournal(args)
+	if err != nil {
+		return err
+	}
+	res := journal.Scan(data)
+	for i, b := range res.Batches {
+		fmt.Printf("batch %d (%d records, root %x...):\n", i, len(b.Records), b.Root[:8])
+		for _, rec := range b.Records {
+			printRecord(rec)
+		}
+	}
+	if len(res.Tail) > 0 {
+		fmt.Printf("unsealed tail (%d records, NOT durable):\n", len(res.Tail))
+		for _, rec := range res.Tail {
+			printRecord(rec)
+		}
+	}
+	if res.Damaged {
+		return fmt.Errorf("journal damaged after %d sealed batch(es): %v", len(res.Batches), res.Err)
+	}
+	fmt.Printf("%d sealed batch(es), %d sealed record(s), %d tail record(s)\n",
+		len(res.Batches), len(res.SealedRecords()), len(res.Tail))
+	return nil
+}
+
+func printRecord(rec journal.Record) {
+	fmt.Printf("  %6d %-18s", rec.Seq, rec.Kind)
+	if rec.ID != 0 {
+		fmt.Printf(" id=%d", rec.ID)
+	}
+	if rec.RefID != 0 {
+		fmt.Printf(" ref=%d", rec.RefID)
+	}
+	if rec.Event != "" {
+		fmt.Printf(" event=%s", rec.Event)
+	}
+	if rec.Module != "" {
+		fmt.Printf(" module=%s", rec.Module)
+	}
+	if rec.Handler != "" {
+		fmt.Printf(" handler=%s", rec.Handler)
+	}
+	if rec.Flags != 0 {
+		fmt.Printf(" flags=%#x", rec.Flags)
+	}
+	if rec.Priority != 0 {
+		fmt.Printf(" pri=%d", rec.Priority)
+	}
+	if rec.A != 0 {
+		fmt.Printf(" a=%d", rec.A)
+	}
+	if rec.B != 0 {
+		fmt.Printf(" b=%d", rec.B)
+	}
+	fmt.Println()
+}
+
+func verify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	headHex := fs.String("head", "", "trusted head root (hex) to pin the journal's final seal against")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	data, err := readJournal(fs.Args())
+	if err != nil {
+		return err
+	}
+	var rep journal.VerifyReport
+	if *headHex != "" {
+		raw, err := hex.DecodeString(*headHex)
+		if err != nil || len(raw) != journal.HashSize {
+			return fmt.Errorf("-head must be %d hex bytes", journal.HashSize)
+		}
+		var head [journal.HashSize]byte
+		copy(head[:], raw)
+		rep, err = journal.VerifyAgainst(data, head)
+		if err != nil {
+			return err
+		}
+	} else if rep, err = journal.Verify(data); err != nil {
+		return err
+	}
+	fmt.Printf("OK: %d batch(es), %d record(s), head %x\n", rep.Batches, rep.Records, rep.Head)
+	return nil
+}
+
+func replay(args []string) error {
+	data, err := readJournal(args)
+	if err != nil {
+		return err
+	}
+	st := journal.NewState()
+	sum, err := journal.Replay(data, st)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d sealed record(s) in %d batch(es)", sum.Records, sum.Batches)
+	if sum.Tail > 0 {
+		fmt.Printf("; %d unsealed tail record(s) ignored", sum.Tail)
+	}
+	if sum.Damaged {
+		fmt.Printf("; journal DAMAGED after sealed prefix")
+	}
+	fmt.Println()
+	fmt.Print(st.Summary())
+	return nil
+}

@@ -104,6 +104,28 @@ func (g *Degrader) Observe(depth int, shedRate float64) (from, to int, changed b
 	return g.cur, g.cur, false
 }
 
+// Force pins the controller at level (clamped to the ladder) and returns
+// the transition, if any. It is the operator/replay override: boot-time
+// journal replay re-establishes the level a crashed dispatcher had
+// reached without having to reproduce the load that caused it. Subsequent
+// Observe calls resume normal escalation/de-escalation from the forced
+// level.
+func (g *Degrader) Force(level int) (from, to int, changed bool) {
+	if level < 0 {
+		level = 0
+	}
+	if level > len(g.levels) {
+		level = len(g.levels)
+	}
+	from, to = g.cur, level
+	if from == to {
+		return from, to, false
+	}
+	g.cur = level
+	g.calm = 0
+	return from, to, true
+}
+
 // itoa avoids importing strconv for one diagnostic label.
 func itoa(n int) string {
 	if n == 0 {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"spin/internal/admit"
+	"spin/internal/journal"
 	"spin/internal/stripe"
 	"spin/internal/trace"
 	"spin/internal/vtime"
@@ -171,6 +172,14 @@ type Options struct {
 	// — the same zero-cost-off contract tracing and fault capture have
 	// (DESIGN.md decision 13).
 	Admit *admit.Queue
+	// Journal, when non-nil, compiles lifecycle journaling into the plan:
+	// the raise path draws from the journal's striped sampler after
+	// execution (one pointer load and, off-sample, one masked counter
+	// increment). A nil Journal compiles a plan with no journal field at
+	// all, so a journal-off dispatcher's raise path is byte-identical to
+	// the unjournaled build — the same zero-cost-off contract tracing,
+	// fault capture, and admission have (DESIGN.md decision 17).
+	Journal *journal.Journal
 }
 
 // step is one unrolled dispatch step.
@@ -217,6 +226,10 @@ type Plan struct {
 	// admitQ is the admission queue compiled into the plan
 	// (Options.Admit); nil plans spawn asynchronous work unqueued.
 	admitQ *admit.Queue
+	// jrnl is the lifecycle journal compiled into the plan
+	// (Options.Journal); nil plans raise with no journal check beyond one
+	// nil test.
+	jrnl *journal.Journal
 	// Ahead-of-time specialization (flat.go): the flattened step array, the
 	// shared guard-leaf pool its steps index into, the lowered default
 	// handler, and the shape-specialized executor selected at compile time.
@@ -289,7 +302,7 @@ type Outcome struct {
 // returned plan is immutable; the dispatcher swaps it in atomically.
 func Compile(info EventInfo, bindings []*Binding, resultFn ResultFn, defaultB *Binding, opts Options) *Plan {
 	p := &Plan{info: info, opts: opts, resultFn: resultFn, defaultB: defaultB,
-		protect: opts.Protect, admitQ: opts.Admit}
+		protect: opts.Protect, admitQ: opts.Admit, jrnl: opts.Journal}
 	for _, b := range bindings {
 		st, live := compileBinding(b, opts)
 		if !live {
@@ -367,6 +380,12 @@ func (p *Plan) Protected() bool { return p.protect != nil }
 // consults it on the plan it loaded, so a policy toggle publishes through
 // the same atomic swap installs use.
 func (p *Plan) AdmitQueue() *admit.Queue { return p.admitQ }
+
+// Journal returns the lifecycle journal compiled into the plan, or nil
+// when the dispatcher runs unjournaled. The raise path consults it on the
+// plan it loaded, so enabling journaling publishes through the same
+// atomic swap installs use.
+func (p *Plan) Journal() *journal.Journal { return p.jrnl }
 
 // TreeUnits reports the number of decision-tree units in the plan and the
 // total bindings they cover (for tests and disassembly).

@@ -225,6 +225,7 @@ func (a *admitCtl) applyLevel(from, to int, name string) {
 	if t := a.d.tracer; t != nil {
 		t.Degrade(from, to, name)
 	}
+	a.d.journalDegrade(from, to, name)
 }
 
 // supervised wraps one admitted handler invocation as pool work: panic

@@ -130,6 +130,11 @@ type Binding struct {
 	priority int
 
 	installed bool
+	// journalID is the binding's identity in the lifecycle journal,
+	// assigned by the install record that defined it (or adopted from the
+	// replayed record at boot). Zero on unjournaled dispatchers. Guarded
+	// by the event's mutex like installed.
+	journalID uint64
 	// quarantined marks a binding compiled out of its event's plan by the
 	// fault controller; recompile skips it until probation re-admits it.
 	// Atomic because the readmission timer flips it off-lock-order with
@@ -165,6 +170,14 @@ func (b *Binding) Installer() *rtti.Module {
 		return nil
 	}
 	return b.handler.Proc.Module
+}
+
+// JournalID returns the binding's identity in the lifecycle journal
+// (zero on an unjournaled dispatcher).
+func (b *Binding) JournalID() uint64 {
+	b.event.mu.Lock()
+	defer b.event.mu.Unlock()
+	return b.journalID
 }
 
 // Intrinsic reports whether this is the event's intrinsic handler.

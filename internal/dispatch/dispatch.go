@@ -38,6 +38,7 @@ import (
 
 	"spin/internal/codegen"
 	"spin/internal/fault"
+	"spin/internal/journal"
 	"spin/internal/trace"
 	"spin/internal/vtime"
 )
@@ -93,6 +94,15 @@ type Dispatcher struct {
 	// when a policy was installed with WithFaultPolicy.
 	faults      *faultCtl
 	faultPolicy *fault.Policy
+
+	// jrnl is the lifecycle journal (WithJournal); nil dispatchers journal
+	// nothing and compile plans without a journal field. jseq issues the
+	// journal binding IDs install records define; jmuted suppresses
+	// lifecycle emission while boot replay re-drives history through the
+	// normal control plane (see journalctl.go).
+	jrnl   *journal.Journal
+	jseq   atomic.Uint64
+	jmuted atomic.Bool
 }
 
 // Option configures a Dispatcher.

@@ -151,6 +151,12 @@ func (d *Dispatcher) DefineEvent(name string, sig rtti.Signature, opts ...EventO
 	// without any runtime overhead (§3.1), so the initial plan compiles
 	// uncharged.
 	e.recompile(false)
+	if e.intrinsic != nil {
+		// The intrinsic binding is journaled like any install (marked
+		// FlagIntrinsic); replay binds its ID to the binding DefineEvent
+		// creates instead of re-installing.
+		d.journalInstall(e, e.intrinsic)
+	}
 	return e, nil
 }
 
@@ -257,6 +263,7 @@ func (e *Event) recompile(charge bool) {
 	opts := e.d.cgOpts
 	opts.Trace = e.tracer
 	opts.Admit = e.admitQ
+	opts.Journal = e.d.jrnl
 	if e.d.faults.enforce {
 		opts.Protect = e.d.faults
 	}
@@ -421,9 +428,10 @@ func (e *Event) raiseOut(plan *codegen.Plan, args []any) (codegen.Outcome, error
 	}
 	// One stripe shard hash serves every striped counter this raise
 	// touches: the raised total here, the per-binding fire counts and the
-	// fired total inside the specialized executor.
+	// fired total inside the specialized executor. The increment's shard
+	// value doubles as the journal's raise-sampling draw below.
 	idx := stripe.Index()
-	e.raised.AddAt(idx, 1)
+	raised := e.raised.AddAtN(idx, 1)
 	if e.d.purity {
 		// Purity checking installs guard monitors that report a mutating
 		// FUNCTIONAL guard by panicking inside plan execution; only then
@@ -451,6 +459,12 @@ func (e *Event) raiseOut(plan *codegen.Plan, args []any) (codegen.Outcome, error
 		out = plan.Execute(e.env, args)
 		e.timeNanos.Add(int64(cpu.Now().Sub(start)))
 		cpu.End()
+	}
+	// Sampled raise journaling, compiled into the plan like tracing: a
+	// journal-off plan pays one nil check; an off-sample draw is one mask
+	// test on the striped raise total already advanced above.
+	if jr := plan.Journal(); jr != nil && jr.SampleCount(uint64(raised)) {
+		jr.SampleHit(e.name, out.Fired)
 	}
 	return out, nil
 }

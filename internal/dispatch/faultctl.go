@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"spin/internal/fault"
+	"spin/internal/journal"
 	"spin/internal/rtti"
 	"spin/internal/vtime"
 )
@@ -163,6 +164,7 @@ func (f *faultCtl) quarantine(b *Binding, act fault.Action) {
 	if t := f.d.tracer; t != nil {
 		t.Quarantine(e.name, b.HandlerName(), act.Level)
 	}
+	f.d.journalBinding(journal.KindQuarantine, b, int64(act.Level))
 	f.d.afterFunc(act.Backoff, func() { f.readmit(b) })
 }
 
@@ -183,6 +185,7 @@ func (f *faultCtl) readmit(b *Binding) {
 	if t := f.d.tracer; t != nil {
 		t.Probation(e.name, b.HandlerName(), false)
 	}
+	f.d.journalBinding(journal.KindProbation, b, 0)
 	f.d.afterFunc(f.policy.Probation, func() { f.restore(b) })
 }
 
@@ -192,6 +195,7 @@ func (f *faultCtl) restore(b *Binding) {
 		if t := f.d.tracer; t != nil {
 			t.Probation(b.event.name, b.HandlerName(), true)
 		}
+		f.d.journalBinding(journal.KindRestore, b, 0)
 	}
 }
 
@@ -231,6 +235,10 @@ func (d *Dispatcher) QuarantineModule(m *rtti.Module) int {
 	d.faults.mu.Lock()
 	d.faults.qModules[m] = true
 	d.faults.mu.Unlock()
+	// Journaled as effects, not intents: one module marker (the
+	// install-denial set) plus a per-binding record for every binding the
+	// operation actually flips, so replay never re-derives the walk.
+	d.journalModule(journal.KindModuleQuarantine, m, 0)
 	n := 0
 	for _, e := range d.Events() {
 		e.mu.Lock()
@@ -239,6 +247,7 @@ func (d *Dispatcher) QuarantineModule(m *rtti.Module) int {
 			if b.Installer() == m && !b.quarantined.Swap(true) {
 				n++
 				changed = true
+				d.journalBinding(journal.KindQuarantine, b, 0)
 			}
 		}
 		if changed {
@@ -263,6 +272,7 @@ func (d *Dispatcher) ReadmitModule(m *rtti.Module) int {
 	// Move the module's ledger entry (if the module budget put it there)
 	// to probation, so a relapse can re-quarantine at the next level.
 	d.faults.ledger.Readmit(m)
+	d.journalModule(journal.KindModuleReadmit, m, 0)
 	n := 0
 	for _, e := range d.Events() {
 		e.mu.Lock()
@@ -277,6 +287,7 @@ func (d *Dispatcher) ReadmitModule(m *rtti.Module) int {
 			b.quarantined.Store(false)
 			n++
 			changed = true
+			d.journalBinding(journal.KindRestore, b, 0)
 		}
 		if changed {
 			e.recompile(false)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"spin/internal/journal"
 	"spin/internal/rtti"
 	"spin/internal/trace"
 )
@@ -245,6 +246,7 @@ func (e *Event) Install(h Handler, opts ...InstallOption) (*Binding, error) {
 	}
 	b.installed = true
 	e.recompile(true)
+	e.d.journalInstall(e, b)
 	return b, nil
 }
 
@@ -326,6 +328,7 @@ func (e *Event) Uninstall(b *Binding) error {
 	// finds the entry gone and does nothing.
 	e.d.faults.ledger.Forget(b)
 	e.recompile(true)
+	e.d.journalBinding(journal.KindUninstall, b, 0)
 	return nil
 }
 
@@ -358,6 +361,7 @@ func (e *Event) SetOrder(b *Binding, o Order) error {
 		return err
 	}
 	e.recompile(true)
+	e.d.journalSetOrder(e, b)
 	return nil
 }
 
@@ -372,8 +376,12 @@ func (e *Event) SetDefaultHandler(h Handler) error {
 		if err := e.authorizeLocked(OpSetDefault, nil); err != nil {
 			return err
 		}
+		old := e.defaultB
 		e.defaultB = nil
 		e.recompile(true)
+		if old != nil {
+			e.d.journalBinding(journal.KindUninstall, old, 0)
+		}
 		return nil
 	}
 	if err := checkHandlerImpl(h); err != nil {
@@ -386,8 +394,13 @@ func (e *Event) SetDefaultHandler(h Handler) error {
 	if err := e.authorizeLocked(OpSetDefault, b); err != nil {
 		return err
 	}
+	old := e.defaultB
 	e.defaultB = b
 	e.recompile(true)
+	if old != nil {
+		e.d.journalBinding(journal.KindUninstall, old, 0)
+	}
+	e.d.journalInstall(e, b)
 	return nil
 }
 

@@ -1,0 +1,504 @@
+package dispatch
+
+import (
+	"fmt"
+	"time"
+
+	"spin/internal/journal"
+	"spin/internal/rtti"
+)
+
+// This file is the dispatcher's journal controller: the bridge between
+// the mechanism-free journal (internal/journal) and the dispatch
+// machinery, mirroring faultctl.go and admitctl.go. Lifecycle transitions
+// — installs, uninstalls, ordering changes, quarantine and readmission,
+// degradation-level transitions, quota changes — are emitted as journal
+// records at the point the dispatcher commits them (under the event's
+// mutex, so journal order matches commit order per event); sampled raise
+// records are drawn on the hot path through the journal compiled into
+// each plan. Boot-time replay re-drives a sealed journal through the
+// normal control plane (ReplayApplier), reconstructing the full
+// binding/quarantine/quota/degradation state.
+//
+// What is deliberately NOT journaled: result handlers, authorizers, and
+// imposed guards. Those are authority wiring — code the event's owning
+// module runs at boot — not dynamic state; journaling them would record
+// function identities the journal cannot resolve. Construction-time
+// options (WithHandlerQuota, the admission ladder) are configuration the
+// boot image already carries; only the runtime SetQuotas override is
+// journaled.
+
+// WithJournal attaches a lifecycle journal to the dispatcher: every
+// binding lifecycle transition is recorded, and each event's dispatch
+// plan is compiled with the journal's sampled raise hook. Without this
+// option no journal field is compiled into plans and the raise path is
+// untouched (the zero-cost-off contract tracing, fault capture, and
+// admission share; TestJournalOffZeroAlloc enforces it).
+func WithJournal(j *journal.Journal) Option {
+	return func(d *Dispatcher) { d.jrnl = j }
+}
+
+// Journal returns the dispatcher's lifecycle journal, or nil.
+func (d *Dispatcher) Journal() *journal.Journal { return d.jrnl }
+
+// journalOn reports whether lifecycle emission is active: a journal is
+// attached and boot replay is not currently re-driving history (replayed
+// operations are already in the journal being replayed; re-emitting them
+// would duplicate records with fresh IDs).
+func (d *Dispatcher) journalOn() bool { return d.jrnl != nil && !d.jmuted.Load() }
+
+// journalFlags encodes b's shape and ordering constraint into install
+// flags. dispatch.OrderKind values coincide with the journal's ordering
+// encoding (0 unordered, 1 first, 2 last, 3 before, 4 after).
+func journalFlags(b *Binding) uint32 {
+	var f uint32
+	if b.async {
+		f |= journal.FlagAsync
+	}
+	if b.ephemeral {
+		f |= journal.FlagEphemeral
+	}
+	if b.filter {
+		f |= journal.FlagFilter
+	}
+	if b.intrinsic {
+		f |= journal.FlagIntrinsic
+	}
+	if b.isDefault {
+		f |= journal.FlagDefault
+	}
+	f |= uint32(b.order.Kind) << journal.OrderShift
+	return f
+}
+
+// journalInstall assigns b its journal ID and emits the install record.
+// Caller holds the event's mutex, or the binding has not escaped yet
+// (DefineEvent's intrinsic).
+func (d *Dispatcher) journalInstall(e *Event, b *Binding) {
+	if !d.journalOn() {
+		return
+	}
+	if b.journalID == 0 {
+		b.journalID = d.jseq.Add(1)
+	}
+	rec := journal.Record{
+		Kind:     journal.KindInstall,
+		ID:       b.journalID,
+		Event:    e.name,
+		Handler:  b.HandlerName(),
+		Flags:    journalFlags(b),
+		Priority: int32(b.priority),
+		A:        int64(b.deadline),
+	}
+	if m := b.Installer(); m != nil {
+		rec.Module = m.Name()
+	}
+	if ref := b.order.Ref; ref != nil {
+		rec.RefID = ref.journalID
+	}
+	d.jrnl.Record(rec)
+}
+
+// journalBinding emits one binding-referencing lifecycle record
+// (uninstall, quarantine, probation, restore).
+func (d *Dispatcher) journalBinding(kind journal.Kind, b *Binding, a int64) {
+	if !d.journalOn() || b.journalID == 0 {
+		return
+	}
+	rec := journal.Record{
+		Kind:    kind,
+		ID:      b.journalID,
+		Event:   b.event.name,
+		Handler: b.HandlerName(),
+		A:       a,
+	}
+	if m := b.Installer(); m != nil {
+		rec.Module = m.Name()
+	}
+	d.jrnl.Record(rec)
+}
+
+// journalSetOrder emits a dynamic ordering change for b, capturing the
+// new constraint the way install records do. Caller holds e.mu.
+func (d *Dispatcher) journalSetOrder(e *Event, b *Binding) {
+	if !d.journalOn() || b.journalID == 0 {
+		return
+	}
+	rec := journal.Record{
+		Kind:  journal.KindSetOrder,
+		ID:    b.journalID,
+		Event: e.name,
+		Flags: uint32(b.order.Kind) << journal.OrderShift,
+	}
+	if ref := b.order.Ref; ref != nil {
+		rec.RefID = ref.journalID
+	}
+	d.jrnl.Record(rec)
+}
+
+// journalModule emits a module-level quarantine marker. The journal
+// records effects, not intents: the marker carries only the
+// install-denial set change, and the per-binding flips a module operation
+// caused are emitted as individual KindQuarantine/KindRestore records, so
+// replay never re-derives which bindings a module operation touched.
+func (d *Dispatcher) journalModule(kind journal.Kind, m *rtti.Module, a int64) {
+	if !d.journalOn() || m == nil {
+		return
+	}
+	d.jrnl.Record(journal.Record{Kind: kind, Module: m.Name(), A: a})
+}
+
+// journalDegrade emits a degradation-level transition.
+func (d *Dispatcher) journalDegrade(from, to int, name string) {
+	if !d.journalOn() {
+		return
+	}
+	d.jrnl.Record(journal.Record{
+		Kind:  journal.KindDegrade,
+		Event: name,
+		A:     int64(from),
+		B:     int64(to),
+	})
+}
+
+// journalQuota emits a runtime quota change.
+func (d *Dispatcher) journalQuota(perModule, global int) {
+	if !d.journalOn() {
+		return
+	}
+	d.jrnl.Record(journal.Record{
+		Kind: journal.KindQuota,
+		A:    int64(perModule),
+		B:    int64(global),
+	})
+}
+
+// SetQuotas changes the installation quotas at runtime (zero disables a
+// limit) and journals the change, so a replayed boot re-establishes the
+// same resource-accounting regime before replaying the installs it
+// governed. Construction-time quotas (WithHandlerQuota, WithHandlerLimit)
+// are boot configuration and are not journaled.
+func (d *Dispatcher) SetQuotas(perModule, global int) {
+	d.quota.mu.Lock()
+	d.quota.perModule = perModule
+	d.quota.global = global
+	d.quota.mu.Unlock()
+	d.journalQuota(perModule, global)
+}
+
+// Quotas returns the current installation quota limits (zero =
+// unlimited).
+func (d *Dispatcher) Quotas() (perModule, global int) {
+	d.quota.mu.Lock()
+	defer d.quota.mu.Unlock()
+	return d.quota.perModule, d.quota.global
+}
+
+// QuarantineBinding compiles b out of its event's dispatch plan without
+// involving the fault ledger: the operator (and replay) override. Unlike
+// fault-driven quarantine no probation timer is armed; the binding stays
+// out until ReadmitBinding. Returns false if b was already quarantined.
+func (d *Dispatcher) QuarantineBinding(b *Binding) bool {
+	if b == nil {
+		return false
+	}
+	e := b.event
+	e.mu.Lock()
+	already := b.quarantined.Swap(true)
+	if !already {
+		e.recompile(false)
+		d.journalBinding(journal.KindQuarantine, b, 0)
+	}
+	e.mu.Unlock()
+	return !already
+}
+
+// ReadmitBinding compiles a quarantined binding back into its event's
+// plan, clearing any fault- or operator-driven quarantine. Returns false
+// if b was not quarantined.
+func (d *Dispatcher) ReadmitBinding(b *Binding) bool {
+	if b == nil {
+		return false
+	}
+	e := b.event
+	e.mu.Lock()
+	was := b.quarantined.Swap(false)
+	if was {
+		e.recompile(false)
+		d.journalBinding(journal.KindRestore, b, 0)
+	}
+	e.mu.Unlock()
+	return was
+}
+
+// ForceDegradationLevel pins the overload controller at level (0 =
+// normal), applying the binding changes and journaling the transition the
+// same way load-driven transitions do. It is the operator override and
+// the replay path for KindDegrade records; subsequent load observations
+// resume normal escalation from the forced level. Returns the transition;
+// changed is false when no degradation ladder is configured or the level
+// is already current.
+func (d *Dispatcher) ForceDegradationLevel(level int) (from, to int, changed bool) {
+	a := d.admit
+	if a.degrader == nil {
+		return 0, 0, false
+	}
+	a.mu.Lock()
+	from, to, changed = a.degrader.Force(level)
+	var name string
+	if changed {
+		name = a.degrader.LevelName(to)
+	}
+	a.mu.Unlock()
+	if changed {
+		a.applyLevel(from, to, name)
+	}
+	return from, to, changed
+}
+
+// setModuleDenied is the replay path for module quarantine markers: it
+// changes only the install-denial set. The per-binding compile-outs a
+// module operation caused are replayed from their own records.
+func (d *Dispatcher) setModuleDenied(m *rtti.Module, denied bool) {
+	d.faults.mu.Lock()
+	if denied {
+		d.faults.qModules[m] = true
+	} else {
+		delete(d.faults.qModules, m)
+	}
+	d.faults.mu.Unlock()
+}
+
+// JournalResolve maps a journaled (module, handler) name pair back to
+// live handler code for boot-time replay. Handlers are code: the journal
+// records identity, not implementation, so the boot image supplies the
+// resolver. The returned options should carry only what the journal
+// cannot: guards, closures, credentials. Shape (async/ephemeral/filter),
+// ordering, priority, and deadlines are reconstructed from the record and
+// appended after the resolver's options.
+type JournalResolve func(module, handler string) (Handler, []InstallOption, bool)
+
+// ReplayApplier re-drives journal records through the dispatcher's normal
+// control plane: installs go through Event.Install (typechecking, quotas,
+// authorization, plan recompilation — the same path live installs take),
+// quarantines through the operator overrides, degradation through the
+// forced-level path. It implements journal.Applier.
+type ReplayApplier struct {
+	d        *Dispatcher
+	resolve  JournalResolve
+	mods     map[string]*rtti.Module
+	bindings map[uint64]*Binding
+}
+
+// NewReplayApplier builds an applier over d. Use Dispatcher.ReplayJournal
+// for the common whole-journal case; the applier is exported for tests
+// and tools that drive journal.Replay themselves.
+func NewReplayApplier(d *Dispatcher, resolve JournalResolve) *ReplayApplier {
+	return &ReplayApplier{
+		d:        d,
+		resolve:  resolve,
+		mods:     make(map[string]*rtti.Module),
+		bindings: make(map[uint64]*Binding),
+	}
+}
+
+// Binding returns the live binding a replayed journal ID mapped to, for
+// tests and tools.
+func (ra *ReplayApplier) Binding(id uint64) *Binding { return ra.bindings[id] }
+
+// module resolves a module name to its live descriptor, scanning the
+// dispatcher's events (authorities and installers) on a miss.
+func (ra *ReplayApplier) module(name string) (*rtti.Module, bool) {
+	if m, ok := ra.mods[name]; ok {
+		return m, true
+	}
+	for _, e := range ra.d.Events() {
+		if m := e.Authority(); m != nil {
+			ra.mods[m.Name()] = m
+		}
+		for _, b := range e.Bindings() {
+			if m := b.Installer(); m != nil {
+				ra.mods[m.Name()] = m
+			}
+		}
+	}
+	m, ok := ra.mods[name]
+	return m, ok
+}
+
+// noteID advances the dispatcher's journal ID counter past id, so
+// bindings installed after replay never collide with replayed IDs.
+func (ra *ReplayApplier) noteID(id uint64) {
+	for {
+		cur := ra.d.jseq.Load()
+		if cur >= id || ra.d.jseq.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}
+
+// Apply implements journal.Applier.
+func (ra *ReplayApplier) Apply(rec journal.Record) error {
+	d := ra.d
+	switch rec.Kind {
+	case journal.KindInstall:
+		return ra.applyInstall(rec)
+	case journal.KindUninstall:
+		b := ra.bindings[rec.ID]
+		if b == nil {
+			return fmt.Errorf("uninstall of unknown binding %d", rec.ID)
+		}
+		delete(ra.bindings, rec.ID)
+		if b.isDefault {
+			return b.event.SetDefaultHandler(Handler{})
+		}
+		return b.event.Uninstall(b)
+	case journal.KindSetOrder:
+		b := ra.bindings[rec.ID]
+		if b == nil {
+			return fmt.Errorf("set-order of unknown binding %d", rec.ID)
+		}
+		o := Order{Kind: OrderKind(journal.OrderKind(rec.Flags))}
+		if o.Kind == OrderBefore || o.Kind == OrderAfter {
+			ref := ra.bindings[rec.RefID]
+			if ref == nil {
+				return fmt.Errorf("set-order of %d against unknown binding %d", rec.ID, rec.RefID)
+			}
+			o.Ref = ref
+		}
+		return b.event.SetOrder(b, o)
+	case journal.KindQuarantine:
+		b := ra.bindings[rec.ID]
+		if b == nil {
+			return fmt.Errorf("quarantine of unknown binding %d", rec.ID)
+		}
+		d.QuarantineBinding(b)
+		return nil
+	case journal.KindProbation, journal.KindRestore:
+		b := ra.bindings[rec.ID]
+		if b == nil {
+			return fmt.Errorf("%s of unknown binding %d", rec.Kind, rec.ID)
+		}
+		d.ReadmitBinding(b)
+		return nil
+	case journal.KindModuleQuarantine, journal.KindModuleReadmit:
+		m, ok := ra.module(rec.Module)
+		if !ok {
+			return fmt.Errorf("unknown module %q", rec.Module)
+		}
+		d.setModuleDenied(m, rec.Kind == journal.KindModuleQuarantine)
+		return nil
+	case journal.KindDegrade:
+		if d.admit.degrader == nil {
+			if rec.B == 0 {
+				return nil
+			}
+			return fmt.Errorf("journaled degradation level %d but no ladder configured", rec.B)
+		}
+		d.ForceDegradationLevel(int(rec.B))
+		return nil
+	case journal.KindQuota:
+		d.SetQuotas(int(rec.A), int(rec.B))
+		return nil
+	case journal.KindRaise:
+		return nil // statistical; nothing to re-drive
+	}
+	return fmt.Errorf("unexpected record kind %v", rec.Kind)
+}
+
+// applyInstall replays one install record: intrinsic installs bind the
+// journal ID to the binding DefineEvent already created; default and
+// regular installs resolve the handler and re-drive the live install
+// path.
+func (ra *ReplayApplier) applyInstall(rec journal.Record) error {
+	d := ra.d
+	e, ok := d.Lookup(rec.Event)
+	if !ok {
+		return fmt.Errorf("unknown event %q", rec.Event)
+	}
+	ra.noteID(rec.ID)
+	if rec.Flags&journal.FlagIntrinsic != 0 {
+		b := e.IntrinsicBinding()
+		if b == nil {
+			return fmt.Errorf("event %q has no intrinsic binding", rec.Event)
+		}
+		if b.journalID == 0 {
+			b.journalID = rec.ID
+		}
+		ra.bindings[rec.ID] = b
+		return nil
+	}
+	h, ropts, ok := ra.resolve(rec.Module, rec.Handler)
+	if !ok {
+		return fmt.Errorf("no handler for %s.%s (resolver)", rec.Module, rec.Handler)
+	}
+	if rec.Flags&journal.FlagDefault != 0 {
+		if err := e.SetDefaultHandler(h); err != nil {
+			return err
+		}
+		e.mu.Lock()
+		b := e.defaultB
+		if b != nil && b.journalID == 0 {
+			b.journalID = rec.ID
+		}
+		e.mu.Unlock()
+		ra.bindings[rec.ID] = b
+		return nil
+	}
+	opts := append([]InstallOption(nil), ropts...)
+	if rec.Flags&journal.FlagAsync != 0 {
+		opts = append(opts, Async())
+		if rec.A > 0 && rec.Flags&journal.FlagEphemeral == 0 {
+			opts = append(opts, WithDeadline(time.Duration(rec.A)))
+		}
+	}
+	if rec.Flags&journal.FlagEphemeral != 0 {
+		opts = append(opts, Ephemeral(time.Duration(rec.A)))
+	}
+	if rec.Flags&journal.FlagFilter != 0 {
+		opts = append(opts, AsFilter())
+	}
+	if rec.Priority != 0 {
+		opts = append(opts, WithPriority(int(rec.Priority)))
+	}
+	switch journal.OrderKind(rec.Flags) {
+	case int(OrderFirst):
+		opts = append(opts, First())
+	case int(OrderLast):
+		opts = append(opts, Last())
+	case int(OrderBefore), int(OrderAfter):
+		ref := ra.bindings[rec.RefID]
+		if ref == nil {
+			return fmt.Errorf("install %d orders against unknown binding %d", rec.ID, rec.RefID)
+		}
+		if journal.OrderKind(rec.Flags) == int(OrderBefore) {
+			opts = append(opts, Before(ref))
+		} else {
+			opts = append(opts, After(ref))
+		}
+	}
+	b, err := e.Install(h, opts...)
+	if err != nil {
+		return err
+	}
+	if b.journalID == 0 {
+		b.journalID = rec.ID
+	}
+	ra.bindings[rec.ID] = b
+	return nil
+}
+
+// ReplayJournal reconstructs the dispatcher's binding, quarantine, quota,
+// and degradation state from a journal byte snapshot: sealed records are
+// re-driven in order through the normal control plane, with lifecycle
+// emission muted so replayed operations are not re-journaled. Only the
+// sealed (fsynced, chain-verified) prefix is applied; an unsealed crash
+// tail is reported in the summary but never trusted. The returned applier
+// maps journal IDs to the live bindings replay created.
+func (d *Dispatcher) ReplayJournal(data []byte, resolve JournalResolve) (*ReplayApplier, journal.Summary, error) {
+	ra := NewReplayApplier(d, resolve)
+	d.jmuted.Store(true)
+	defer d.jmuted.Store(false)
+	sum, err := journal.Replay(data, ra)
+	return ra, sum, err
+}

@@ -61,19 +61,21 @@ func WithHandlerLimit(global int) Option {
 // exceeded. Anonymous handlers (nil module) count only against the global
 // ceiling.
 func (q *quotas) charge(m *rtti.Module) error {
-	if q.perModule == 0 && q.global == 0 {
-		return nil
-	}
+	// Accounting is always on and the limits are read under the lock:
+	// SetQuotas can change them at runtime (journaled; see journalctl.go),
+	// so counts must be accurate even for bindings installed while no
+	// limit was set. Installation is control-plane work that can afford
+	// the mutex.
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.global > 0 && q.total >= q.global {
 		return fmt.Errorf("%w: dispatcher limit %d reached", ErrQuotaExceeded, q.global)
 	}
-	if q.perModule > 0 && m != nil {
+	if m != nil {
 		if q.counts == nil {
 			q.counts = make(map[*rtti.Module]int)
 		}
-		if q.counts[m] >= q.perModule {
+		if q.perModule > 0 && q.counts[m] >= q.perModule {
 			return fmt.Errorf("%w: module %s at its quota of %d",
 				ErrQuotaExceeded, m.Name(), q.perModule)
 		}
@@ -85,15 +87,12 @@ func (q *quotas) charge(m *rtti.Module) error {
 
 // release returns one installation's accounting, on uninstall.
 func (q *quotas) release(m *rtti.Module) {
-	if q.perModule == 0 && q.global == 0 {
-		return
-	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.total > 0 {
 		q.total--
 	}
-	if q.perModule > 0 && m != nil && q.counts[m] > 0 {
+	if m != nil && q.counts[m] > 0 {
 		q.counts[m]--
 	}
 }

@@ -1,0 +1,76 @@
+package journal
+
+import "crypto/sha256"
+
+// Tamper evidence: each sealed batch carries a Merkle root over its
+// record frames, chained to the previous batch's root. Verify recomputes
+// the whole chain; any in-place edit breaks a record CRC or a root, and
+// any truncation inside the sealed region breaks the chain or leaves the
+// file off a seal boundary. (Removing whole batches from the tail is the
+// one silent cut — detectable only against an externally stored head
+// root, which Journal.Head exposes for exactly that purpose; see
+// DESIGN.md decision 17.)
+
+// HashSize is the byte length of leaf hashes and chained roots.
+const HashSize = sha256.Size
+
+// leafHash hashes one encoded record frame (CRC included) into a Merkle
+// leaf. A domain prefix keeps leaves and interior nodes from colliding.
+func leafHash(frame []byte) [HashSize]byte {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(frame)
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// nodeHash combines two subtree hashes into their parent.
+func nodeHash(l, r [HashSize]byte) [HashSize]byte {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// merkleRoot folds leaf hashes into a root, promoting an odd tail node
+// unchanged. An empty batch (a timer flush with nothing pending never
+// seals, so this is defensive) hashes to the zero leaf.
+func merkleRoot(leaves [][HashSize]byte) [HashSize]byte {
+	if len(leaves) == 0 {
+		return leafHash(nil)
+	}
+	level := leaves
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, nodeHash(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// chainRoot links a batch root to the previous chained root, producing
+// the value a seal record carries. The genesis prev is all zeros.
+func chainRoot(prev [HashSize]byte, batch [HashSize]byte, batchIndex uint64) [HashSize]byte {
+	h := sha256.New()
+	h.Write([]byte{0x02})
+	h.Write(prev[:])
+	h.Write(batch[:])
+	var idx [8]byte
+	for i := range idx {
+		idx[i] = byte(batchIndex >> (8 * i))
+	}
+	h.Write(idx[:])
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}

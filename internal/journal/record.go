@@ -1,0 +1,320 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Kind discriminates journal records. Every dispatcher lifecycle
+// transition gets its own kind; KindRaise is the sampled data-plane
+// record; KindSeal terminates a batch and carries the chained Merkle
+// root.
+type Kind uint8
+
+const (
+	// KindInstall records a handler installation (including the
+	// intrinsic binding created at event definition, marked
+	// FlagIntrinsic, and default handlers, marked FlagDefault).
+	KindInstall Kind = iota + 1
+	// KindUninstall records a handler removal.
+	KindUninstall
+	// KindSetOrder records a dynamic ordering-constraint change.
+	KindSetOrder
+	// KindQuarantine records a binding compiled out of its event's plan
+	// (fault budget exhausted, or an operator/replay forcing).
+	KindQuarantine
+	// KindProbation records a quarantined binding re-admitted on
+	// probation.
+	KindProbation
+	// KindRestore records a probation binding restored to full health.
+	KindRestore
+	// KindModuleQuarantine records a module denied installations with
+	// all its bindings compiled out.
+	KindModuleQuarantine
+	// KindModuleReadmit records a module quarantine lifted.
+	KindModuleReadmit
+	// KindDegrade records a degradation-level transition (A = from,
+	// B = to, Event = level name).
+	KindDegrade
+	// KindQuota records a runtime change to the installation quotas
+	// (A = per-module, B = global; zero means unlimited).
+	KindQuota
+	// KindRaise is a 1-in-N sampled raise record (A = handlers fired).
+	KindRaise
+	// KindSeal terminates a batch: A = batch index, B = record count,
+	// Root = the chained Merkle root sealing every record since the
+	// previous seal.
+	KindSeal
+)
+
+//spinvet:pure
+func (k Kind) String() string {
+	switch k {
+	case KindInstall:
+		return "install"
+	case KindUninstall:
+		return "uninstall"
+	case KindSetOrder:
+		return "set-order"
+	case KindQuarantine:
+		return "quarantine"
+	case KindProbation:
+		return "probation"
+	case KindRestore:
+		return "restore"
+	case KindModuleQuarantine:
+		return "module-quarantine"
+	case KindModuleReadmit:
+		return "module-readmit"
+	case KindDegrade:
+		return "degrade"
+	case KindQuota:
+		return "quota"
+	case KindRaise:
+		return "raise"
+	case KindSeal:
+		return "seal"
+	}
+	return "kind(?)"
+}
+
+// Binding-shape flags carried on KindInstall records (low byte); the
+// ordering-constraint kind occupies bits 8..11.
+const (
+	FlagAsync     uint32 = 1 << 0
+	FlagEphemeral uint32 = 1 << 1
+	FlagFilter    uint32 = 1 << 2
+	FlagIntrinsic uint32 = 1 << 3
+	FlagDefault   uint32 = 1 << 4
+
+	// OrderShift positions the ordering kind inside Flags: 0 unordered,
+	// 1 first, 2 last, 3 before, 4 after (dispatch.OrderKind values).
+	OrderShift = 8
+	orderMask  = 0xF
+)
+
+// OrderKind extracts the ordering-constraint kind from install flags.
+//
+//spinvet:pure
+func OrderKind(flags uint32) int { return int(flags>>OrderShift) & orderMask }
+
+// Record is one journal entry. The field set is the superset across
+// kinds; the per-kind meaning of the generic fields is documented on the
+// Kind constants and in Schema.
+type Record struct {
+	Kind Kind
+	// Seq is the journal-assigned monotonic sequence number.
+	Seq uint64
+	// ID identifies the binding a lifecycle record concerns; install
+	// records define it, later records reference it.
+	ID uint64
+	// RefID carries the ordering-constraint reference binding for
+	// Before/After installs and SetOrder records.
+	RefID uint64
+	// Event is the event name (or a kind-specific label: the level name
+	// on KindDegrade records).
+	Event string
+	// Module is the installing module's name.
+	Module string
+	// Handler is the handler procedure's qualified name.
+	Handler string
+	// Flags carries the binding shape and ordering kind (install,
+	// set-order).
+	Flags uint32
+	// Priority is the binding's degradation priority class.
+	Priority int32
+	// A and B are kind-specific integers: the EPHEMERAL/async deadline
+	// in nanoseconds (install), from/to levels (degrade), per-module and
+	// global limits (quota), handlers fired (raise), batch index and
+	// record count (seal).
+	A, B int64
+	// Root is the chained Merkle root on KindSeal records, empty
+	// otherwise.
+	Root []byte
+}
+
+// Field identifiers for the self-describing payload encoding. A field is
+// encoded as a key uvarint (id<<1 | wire) followed by a uvarint (wire 0)
+// or a length-prefixed byte string (wire 1). Decoders skip unknown
+// fields, so the framing is forward-compatible.
+const (
+	fieldSeq      = 1 // uvarint
+	fieldID       = 2 // uvarint
+	fieldRefID    = 3 // uvarint
+	fieldEvent    = 4 // string
+	fieldModule   = 5 // string
+	fieldHandler  = 6 // string
+	fieldFlags    = 7 // uvarint
+	fieldPriority = 8 // uvarint (non-negative by construction)
+	fieldA        = 9 // zigzag uvarint
+	fieldB        = 10
+	fieldRoot     = 11 // bytes
+)
+
+// crcTable is the Castagnoli table; CRC-32C has hardware support on the
+// platforms this targets.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func putUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+func putField(dst []byte, id int, v uint64) []byte {
+	if v == 0 {
+		return dst // zero fields are omitted; decode defaults them
+	}
+	dst = putUvarint(dst, uint64(id)<<1)
+	return putUvarint(dst, v)
+}
+
+func putStringField(dst []byte, id int, s string) []byte {
+	if s == "" {
+		return dst
+	}
+	dst = putUvarint(dst, uint64(id)<<1|1)
+	dst = putUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func putBytesField(dst []byte, id int, b []byte) []byte {
+	if len(b) == 0 {
+		return dst
+	}
+	dst = putUvarint(dst, uint64(id)<<1|1)
+	dst = putUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// zigzag folds signed integers into unsigned space, small magnitudes
+// first.
+//
+//spinvet:pure
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+//spinvet:pure
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendFrame encodes rec as one framed record onto dst and returns the
+// extended slice. Frame layout:
+//
+//	kind:1 | payloadLen:uvarint | payload | crc32c:4 (little-endian)
+//
+// The CRC covers kind, length, and payload, so a single corrupted byte
+// anywhere in the frame is detected at decode.
+func AppendFrame(dst []byte, rec *Record) []byte {
+	var payload [192]byte
+	p := payload[:0]
+	p = putField(p, fieldSeq, rec.Seq)
+	p = putField(p, fieldID, rec.ID)
+	p = putField(p, fieldRefID, rec.RefID)
+	p = putStringField(p, fieldEvent, rec.Event)
+	p = putStringField(p, fieldModule, rec.Module)
+	p = putStringField(p, fieldHandler, rec.Handler)
+	p = putField(p, fieldFlags, uint64(rec.Flags))
+	p = putField(p, fieldPriority, uint64(rec.Priority))
+	p = putField(p, fieldA, zigzag(rec.A))
+	p = putField(p, fieldB, zigzag(rec.B))
+	p = putBytesField(p, fieldRoot, rec.Root)
+
+	start := len(dst)
+	dst = append(dst, byte(rec.Kind))
+	dst = putUvarint(dst, uint64(len(p)))
+	dst = append(dst, p...)
+	crc := crc32.Checksum(dst[start:], crcTable)
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// Framing errors.
+var (
+	// ErrTruncated reports a frame cut off by the end of input — the
+	// signature of a crash mid-append, recoverable to the sealed prefix.
+	ErrTruncated = fmt.Errorf("journal: truncated frame")
+	// ErrCorrupt reports a frame whose CRC does not match its bytes — an
+	// in-place edit or bit rot.
+	ErrCorrupt = fmt.Errorf("journal: frame CRC mismatch")
+	// ErrBadKind reports an out-of-range record kind byte.
+	ErrBadKind = fmt.Errorf("journal: unknown record kind")
+)
+
+// DecodeFrame decodes one frame from the front of buf, returning the
+// record and the number of bytes consumed. Unknown payload fields are
+// skipped, so newer writers stay readable.
+func DecodeFrame(buf []byte) (Record, int, error) {
+	var rec Record
+	if len(buf) < 1 {
+		return rec, 0, ErrTruncated
+	}
+	kind := Kind(buf[0])
+	if kind == 0 || kind > KindSeal {
+		return rec, 0, fmt.Errorf("%w: %d", ErrBadKind, buf[0])
+	}
+	plen, n := binary.Uvarint(buf[1:])
+	if n <= 0 {
+		return rec, 0, ErrTruncated
+	}
+	head := 1 + n
+	if plen > uint64(len(buf)-head) {
+		return rec, 0, ErrTruncated
+	}
+	frameLen := head + int(plen)
+	if len(buf) < frameLen+4 {
+		return rec, 0, ErrTruncated
+	}
+	want := binary.LittleEndian.Uint32(buf[frameLen:])
+	if crc32.Checksum(buf[:frameLen], crcTable) != want {
+		return rec, 0, ErrCorrupt
+	}
+	rec.Kind = kind
+	p := buf[head:frameLen]
+	for len(p) > 0 {
+		key, kn := binary.Uvarint(p)
+		if kn <= 0 {
+			return rec, 0, ErrCorrupt
+		}
+		p = p[kn:]
+		if key&1 == 1 { // length-prefixed bytes
+			slen, sn := binary.Uvarint(p)
+			if sn <= 0 || slen > uint64(len(p)-sn) {
+				return rec, 0, ErrCorrupt
+			}
+			val := p[sn : sn+int(slen)]
+			p = p[sn+int(slen):]
+			switch key >> 1 {
+			case fieldEvent:
+				rec.Event = string(val)
+			case fieldModule:
+				rec.Module = string(val)
+			case fieldHandler:
+				rec.Handler = string(val)
+			case fieldRoot:
+				rec.Root = append([]byte(nil), val...)
+			}
+			continue
+		}
+		v, vn := binary.Uvarint(p)
+		if vn <= 0 {
+			return rec, 0, ErrCorrupt
+		}
+		p = p[vn:]
+		switch key >> 1 {
+		case fieldSeq:
+			rec.Seq = v
+		case fieldID:
+			rec.ID = v
+		case fieldRefID:
+			rec.RefID = v
+		case fieldFlags:
+			rec.Flags = uint32(v)
+		case fieldPriority:
+			rec.Priority = int32(v)
+		case fieldA:
+			rec.A = unzigzag(v)
+		case fieldB:
+			rec.B = unzigzag(v)
+		}
+	}
+	return rec, frameLen + 4, nil
+}

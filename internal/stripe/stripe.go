@@ -48,6 +48,14 @@ func (c *Counter) AddAt(idx int, delta int64) {
 	c.stripes[idx].n.Add(delta)
 }
 
+// AddAtN is AddAt returning the shard's new value. The dispatcher reuses
+// the raise-total increment it already pays as the journal's raise-
+// sampling draw (journal.SampleCount), so sampling adds no second atomic
+// RMW to the raise path.
+func (c *Counter) AddAtN(idx int, delta int64) int64 {
+	return c.stripes[idx].n.Add(delta)
+}
+
 // Load sums the shards.
 func (c *Counter) Load() int64 {
 	var sum int64
