@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint spinvet alloccheck build test race fuzz-smoke faultcheck overloadcheck journalcheck bench benchsmoke profile tables json
+.PHONY: check vet lint spinvet alloccheck build test race fuzz-smoke faultcheck overloadcheck journalcheck remotecheck bench benchsmoke profile tables json
 
 check: vet lint build test race
 
@@ -16,10 +16,11 @@ spinvet:
 	$(GO) run ./cmd/spinvet ./...
 
 # The standing allocation invariants from the fast-path, tracing, fault,
-# overload, and journal PRs: a synchronous raise stays 0-alloc with
-# tracing off, with the fault policy on, with admission enabled but no
-# policy, and with the journal off or lifecycle-only — and trace
-# recording itself never allocates. AllocsPerRun is unreliable under the
+# overload, journal, and remote PRs: a synchronous raise stays 0-alloc
+# with tracing off, with the fault policy on, with admission enabled but
+# no policy, with the journal off or lifecycle-only, and with the remote
+# subsystem compiled in and serving — and trace recording itself never
+# allocates. AllocsPerRun is unreliable under the
 # race detector, so this runs without -race.
 alloccheck:
 	$(GO) test -run 'ZeroAlloc|DoesNotAllocate' -count=1 ./...
@@ -66,6 +67,13 @@ overloadcheck:
 journalcheck:
 	$(GO) test -race -count=2 -run 'Journal|Replay|Seal|Crash|Verify|Frame|GroupCommit|Sample|Tamper|Flush|Head|FileSink|Scan' ./internal/journal/ ./internal/dispatch/ ./internal/kernel/
 
+# The remote-raise suite under the race detector: wire-codec corruption
+# sweeps, breaker and dedup-window state machines, netwire fault
+# injection, TCP teardown under abrupt peer death, and the two-machine
+# retry/partition/heal drills.
+remotecheck:
+	$(GO) test -race -count=2 -run 'Remote|Breaker|Dedup|Wire|Partition|Heartbeat|Teardown|Abort|Inject|OutOfOrder|Drill' ./internal/remote/ ./internal/netstack/ ./internal/netwire/
+
 # Native (wall-clock) microbenchmarks, including the zero-allocation
 # parallel raise path.
 bench:
@@ -75,7 +83,7 @@ bench:
 # stay within 25% of the committed inline/bypass ratio recorded in
 # BENCH_dispatch.json. Ratio-based so it is meaningful on any host.
 benchsmoke:
-	SPIN_BENCH_SMOKE=1 $(GO) test -run 'TestBenchSmokeInlinePlan|TestBenchSmokeBatch' -count=1 -v .
+	SPIN_BENCH_SMOKE=1 $(GO) test -run 'TestBenchSmokeInlinePlan|TestBenchSmokeBatch|TestBenchSmokeRemote' -count=1 -v .
 
 # CPU profile of the parallel raise benchmarks. EXPERIMENTS.md ("Reading
 # the inline-plan profile") explains what to look for in the output of

@@ -16,6 +16,8 @@ import (
 
 	"spin/internal/codegen"
 	"spin/internal/dispatch"
+	"spin/internal/kernel"
+	"spin/internal/remote"
 	"spin/internal/rtti"
 )
 
@@ -33,6 +35,12 @@ type smokeTrajectory struct {
 				// sustain at least this multiple of single-raise
 				// throughput. Tolerance is baked into the figure.
 				Batch64SingleRatio float64 `json:"batch64_single_ratio"`
+				// RemoteLocalRatio is a ceiling with tolerance baked in: a
+				// local bypass raise on a machine with the remote
+				// subsystem resident (receiver serving, peer constructed,
+				// wire traffic already exchanged) must cost at most this
+				// multiple of the same raise on a machine without it.
+				RemoteLocalRatio float64 `json:"remote_local_ratio"`
 			} `json:"smoke"`
 		} `json:"native"`
 	} `json:"entries"`
@@ -217,5 +225,87 @@ func TestBenchSmokeBatch(t *testing.T) {
 	if bestSpeedup < floor {
 		t.Errorf("batch-64 speedup %.2fx is below the committed %.2fx floor: batched ingress regressed",
 			bestSpeedup, floor)
+	}
+}
+
+// TestBenchSmokeRemote is the opt-in no-regression gate for the remote
+// subsystem's local path: with a receiver serving, a peer constructed, and
+// wire traffic already exchanged on the measured machine, a purely local
+// bypass raise must cost at most the committed multiple
+// (native.smoke.remote_local_ratio, ceiling with tolerance baked in) of
+// the same raise on a machine without the remote subsystem. Run via
+// `make benchsmoke`.
+func TestBenchSmokeRemote(t *testing.T) {
+	if os.Getenv("SPIN_BENCH_SMOKE") != "1" {
+		t.Skip("benchmark smoke gate is opt-in: set SPIN_BENCH_SMOKE=1 (make benchsmoke)")
+	}
+
+	raw, err := os.ReadFile("BENCH_dispatch.json")
+	if err != nil {
+		t.Fatalf("reading trajectory file: %v", err)
+	}
+	var traj smokeTrajectory
+	if err := json.Unmarshal(raw, &traj); err != nil {
+		t.Fatalf("parsing BENCH_dispatch.json: %v", err)
+	}
+	ceiling := 0.0
+	for _, e := range traj.Entries {
+		if s := e.Native.Smoke; s != nil && s.RemoteLocalRatio > 0 {
+			ceiling = s.RemoteLocalRatio
+		}
+	}
+	if ceiling == 0 {
+		t.Fatal("no entry in BENCH_dispatch.json carries native.smoke.remote_local_ratio")
+	}
+
+	sig := rtti.Sig(nil, rtti.Word)
+	handler := func(name string) dispatch.Handler {
+		return dispatch.Handler{
+			Proc: &rtti.Proc{Name: name, Module: benchMod, Sig: sig},
+			Fn:   func(any, []any) any { return nil },
+		}
+	}
+
+	// Baseline: a metered machine with no network or remote subsystem.
+	base, err := kernel.Boot(kernel.Config{Name: "base", Metered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseEv, err := base.Dispatcher.DefineEvent("Smoke.Plain", sig,
+		dispatch.WithIntrinsic(handler("Smoke.H")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Subject: the two-machine drill rig, warmed with real wire traffic so
+	// the remote subsystem is resident and live, then measured on a local
+	// event that never touches it.
+	rig, err := remote.NewBenchRig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	subjEv, err := rig.Local.DefineEvent("Smoke.Resident", sig,
+		dispatch.WithIntrinsic(handler("Smoke.H")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measureSerialNs(t, "warmup-plain", baseEv)
+	measureSerialNs(t, "warmup-resident", subjEv)
+	bestRatio := 0.0
+	for trial := 0; trial < 3; trial++ {
+		plainNs := measureSerialNs(t, "plain", baseEv)
+		residentNs := measureSerialNs(t, "remote-resident", subjEv)
+		ratio := residentNs / plainNs
+		t.Logf("trial %d: plain %.1f ns/op, remote-resident %.1f ns/op, ratio %.2fx",
+			trial, plainNs, residentNs, ratio)
+		if bestRatio == 0 || ratio < bestRatio {
+			bestRatio = ratio
+		}
+	}
+
+	if bestRatio > ceiling {
+		t.Errorf("remote-resident/plain local raise ratio %.2fx exceeds committed %.2fx ceiling: remote subsystem taxes the local path",
+			bestRatio, ceiling)
 	}
 }

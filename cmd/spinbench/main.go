@@ -12,6 +12,7 @@
 //	spinbench -table inline   specialization ablation on the inline plan
 //	spinbench -table batch    batched raise ingress vs. single-raise loop
 //	spinbench -table journal  lifecycle-journal raise overhead and group-commit latency
+//	spinbench -table remote   two-machine remote raise drill (latency crossover, loss, partition)
 //	spinbench -table all      everything
 //	spinbench -disasm         dispatch plan disassembly tour
 //
@@ -108,6 +109,14 @@ func main() {
 	if *table == "journal" {
 		if err := journalTable(); err != nil {
 			fmt.Fprintf(os.Stderr, "spinbench: journal: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// The remote drill exercises the network substrate rather than the
+	// paper's dispatch tables: opt-in (deterministic virtual time).
+	if *table == "remote" {
+		if err := remoteTable(); err != nil {
+			fmt.Fprintf(os.Stderr, "spinbench: remote: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -47,6 +47,12 @@ const (
 	// against a budget — it documents what the old silent recover() threw
 	// away.
 	KindCompare
+	// KindRemote is an observational record from the remote-raise layer: a
+	// peer circuit breaker tripped (deadline exhaustion, connection loss,
+	// or heartbeat-declared partition). It charges the peer's failure
+	// domain in the ledger without counting against any local handler's
+	// budget.
+	KindRemote
 )
 
 func (k Kind) String() string {
@@ -61,6 +67,8 @@ func (k Kind) String() string {
 		return "bad-result"
 	case KindCompare:
 		return "compare"
+	case KindRemote:
+		return "remote"
 	}
 	return "fault(?)"
 }

@@ -42,6 +42,7 @@ const (
 	FlagACK
 	FlagFIN
 	FlagPSH
+	FlagRST
 )
 
 // Header sizes for wire accounting.

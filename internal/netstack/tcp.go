@@ -14,11 +14,23 @@ import (
 // guarded handlers next to the intrinsic, as the OSF emulator's port
 // watcher does for Table 3).
 //
-// The transport is deliberately simplified: the simulated wire is lossless
-// and ordered, so there is no retransmission, no window management, and an
-// unbounded send window; every data segment is acknowledged with a pure
-// ACK, which keeps segment counts faithful to a real trace's
-// data-plus-acks mix.
+// The transport is deliberately simplified: there is no retransmission, no
+// window management, and an unbounded send window; every data segment is
+// acknowledged with a pure ACK, which keeps segment counts faithful to a
+// real trace's data-plus-acks mix. The calibrated wire is lossless by
+// default; under netwire fault injection the transport stays
+// retransmission-free and instead enforces in-order delivery (out-of-order
+// and duplicate segments are dropped and counted), leaving recovery to the
+// layer above — internal/remote aborts the connection on deadline, redials,
+// and relies on idempotent retry for exactly-once effects.
+//
+// Teardown discipline (the abrupt-peer-death audit): every terminal
+// transition reaps the endpoint from the demux table and rouses parked
+// strands, so a dead peer cannot strand connections, waiters, or timers.
+// Segments that match no endpoint are answered with RST (except RSTs
+// themselves and pure ACKs), an embryonic handshake that never completes is
+// reaped by a one-shot timer, and Abort gives the layer above an immediate
+// RST-and-reap teardown for deadline enforcement.
 
 // TCP connection states.
 type tcpConnState int
@@ -50,13 +62,47 @@ type connKey struct {
 	localPort  uint16
 }
 
+// HandshakeTimeout bounds how long an embryonic connection (SYN sent or
+// received, handshake incomplete) may sit in the demux table before being
+// reaped. Generous against the calibrated network's ~475us round trip.
+const HandshakeTimeout = vtime.Duration(10 * 1000 * 1000) // 10ms
+
 type tcpState struct {
 	listeners map[uint16]*TCPListener
 	conns     map[connKey]*TCPConn
 	nextPort  uint16
-	// Resets counts segments that matched no connection or listener.
+	// Resets counts segments that matched no connection or listener and
+	// were answered with RST.
 	Resets int64
+	// OutOfOrder counts data/FIN segments dropped because their sequence
+	// number did not match the expected in-order position (lost or
+	// duplicated predecessors under fault injection).
+	OutOfOrder int64
+	// Reaped counts endpoints removed from the demux table.
+	Reaped int64
 }
+
+// TCPStats is a snapshot of stack-wide TCP counters, for leak auditing and
+// the remote drill's report.
+type TCPStats struct {
+	Conns      int
+	Resets     int64
+	OutOfOrder int64
+	Reaped     int64
+}
+
+// TCPStats snapshots the TCP module's counters.
+func (s *Stack) TCPStats() TCPStats {
+	return TCPStats{
+		Conns:      len(s.tcp.conns),
+		Resets:     s.tcp.Resets,
+		OutOfOrder: s.tcp.OutOfOrder,
+		Reaped:     s.tcp.Reaped,
+	}
+}
+
+// TCPConns reports the number of live endpoints in the demux table.
+func (s *Stack) TCPConns() int { return len(s.tcp.conns) }
 
 func (t *tcpState) init() {
 	t.listeners = make(map[uint16]*TCPListener)
@@ -145,10 +191,26 @@ func (s *Stack) DialTCP(dstIP string, dstPort uint16) (*TCPConn, error) {
 	c := &TCPConn{stack: s, localPort: port, remotePort: dstPort, remoteIP: dstIP,
 		state: tcpSynSent, seq: 1}
 	s.tcp.conns[connKey{dstIP, dstPort, port}] = c
+	s.armHandshakeTimer(c)
 	if err := c.sendSeg(FlagSYN, nil); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// armHandshakeTimer schedules a one-shot reap of an embryonic endpoint
+// whose handshake never completes — the peer died mid-open or a handshake
+// segment was lost — so half-open connections cannot accumulate in the
+// demux table. The timer is a no-op once the connection establishes (or is
+// otherwise reaped). Without a simulator, timers are disabled and the
+// audit relies on Abort alone.
+func (s *Stack) armHandshakeTimer(c *TCPConn) {
+	_ = s.sched.After(HandshakeTimeout, func() {
+		if c.state == tcpSynSent || c.state == tcpSynRcvd {
+			c.eof = true
+			c.reap()
+		}
+	})
 }
 
 // Established reports whether the handshake has completed.
@@ -207,14 +269,49 @@ func (c *TCPConn) Recv() ([]byte, bool) {
 // AwaitData registers st for wakeup on the next delivery or EOF.
 func (c *TCPConn) AwaitData(st *sched.Strand) { c.recvWaiter = st }
 
-// Close sends FIN and marks the connection closed locally.
+// Close sends FIN and marks the connection closed locally. If the peer has
+// already finished sending, both directions are shut and the endpoint is
+// reaped; otherwise it stays in the demux table until the peer's FIN (or
+// RST) arrives.
 func (c *TCPConn) Close() error {
 	if c.state == tcpClosed {
 		return nil
 	}
 	err := c.sendSeg(FlagFIN|FlagACK, nil)
 	c.state = tcpClosed
+	if c.eof {
+		c.reap()
+	}
 	return err
+}
+
+// Abort tears the endpoint down immediately: an RST is sent (best effort)
+// and the connection is reaped without waiting for the peer. This is the
+// teardown the remote layer uses when a deadline expires on an unhealthy
+// connection.
+func (c *TCPConn) Abort() {
+	if c.stack.tcp.conns[connKey{c.remoteIP, c.remotePort, c.localPort}] != c {
+		return // already reaped
+	}
+	if c.state == tcpEstablished || c.state == tcpSynRcvd {
+		_ = c.sendSeg(FlagRST, nil)
+	}
+	c.eof = true
+	c.reap()
+}
+
+// reap removes the endpoint from the demux table and rouses parked
+// waiters, so strands blocked on establishment or data observe the
+// terminal state instead of sleeping forever.
+func (c *TCPConn) reap() {
+	c.state = tcpClosed
+	key := connKey{c.remoteIP, c.remotePort, c.localPort}
+	if c.stack.tcp.conns[key] == c {
+		delete(c.stack.tcp.conns, key)
+		c.stack.tcp.Reaped++
+	}
+	c.stack.wake(&c.connWaiter)
+	c.stack.wake(&c.recvWaiter)
 }
 
 // sendSeg builds and transmits one segment.
@@ -249,25 +346,39 @@ func (s *Stack) tcpInput(pkt *Packet) {
 		if pkt.Flags&FlagSYN != 0 && pkt.Flags&FlagACK == 0 {
 			l, listening := s.tcp.listeners[pkt.DstPort]
 			if !listening {
+				// Connection refused.
 				s.tcp.Resets++
+				_ = s.sendRST(pkt)
 				return
 			}
 			c = &TCPConn{stack: s, localPort: pkt.DstPort,
 				remotePort: pkt.SrcPort, remoteIP: pkt.SrcIP,
 				state: tcpSynRcvd, seq: 1, ack: pkt.Seq + 1}
 			s.tcp.conns[key] = c
+			s.armHandshakeTimer(c)
 			c.SegsIn++
 			_ = c.sendSeg(FlagSYN|FlagACK, nil)
 			c.seq++
 			_ = l // accepted on the completing ACK below
 			return
 		}
-		s.tcp.Resets++
+		// Answer with RST so the peer's endpoint tears down promptly
+		// instead of waiting out its deadline — except for RSTs themselves
+		// (no RST-for-RST storms) and pure ACKs (the final ACK of a close
+		// races the reap harmlessly).
+		if pkt.Flags&FlagRST == 0 && (len(pkt.Payload) > 0 || pkt.Flags&(FlagSYN|FlagFIN) != 0) {
+			s.tcp.Resets++
+			_ = s.sendRST(pkt)
+		}
 		return
 	}
 
 	c.SegsIn++
 	switch {
+	case pkt.Flags&FlagRST != 0:
+		// Peer aborted (or refused): terminal, no reply.
+		c.eof = true
+		c.reap()
 	case c.state == tcpSynSent && pkt.Flags&(FlagSYN|FlagACK) == FlagSYN|FlagACK:
 		// Active open completes: ACK the SYN-ACK.
 		c.state = tcpEstablished
@@ -289,10 +400,20 @@ func (s *Stack) tcpInput(pkt *Packet) {
 		}
 
 	case pkt.Flags&FlagFIN != 0:
+		if pkt.Seq != c.ack {
+			// A lost predecessor (hole) or a duplicated FIN: drop it and
+			// re-assert the expected position.
+			s.tcp.OutOfOrder++
+			_ = c.sendSeg(FlagACK, nil)
+			return
+		}
 		c.eof = true
 		c.ack = pkt.Seq + 1
 		_ = c.sendSeg(FlagACK, nil)
 		s.wake(&c.recvWaiter)
+		if c.state == tcpClosed {
+			c.reap() // both FINs seen: full teardown
+		}
 
 	case len(pkt.Payload) > 0 && c.state == tcpEstablished:
 		c.deliverData(pkt)
@@ -303,7 +424,25 @@ func (s *Stack) tcpInput(pkt *Packet) {
 	}
 }
 
+// sendRST answers a segment that matched no endpoint, echoing its
+// identifiers back so the sender can match the reset to its connection.
+func (s *Stack) sendRST(pkt *Packet) error {
+	s.cpu.ChargeTo(vtime.AccountKernel, vtime.ProtoLayer)
+	return s.sendIP(&Packet{
+		DstIP: pkt.SrcIP, Proto: ProtoTCP,
+		SrcPort: pkt.DstPort, DstPort: pkt.SrcPort,
+		Seq: pkt.Ack, Ack: pkt.Seq, Flags: FlagRST,
+	})
+}
+
+// deliverData queues an in-order data segment; a segment whose sequence
+// number is not the expected next byte (a hole from a dropped predecessor,
+// or a duplicate) is discarded and counted — there is no reassembly queue.
 func (c *TCPConn) deliverData(pkt *Packet) {
+	if pkt.Seq != c.ack {
+		c.stack.tcp.OutOfOrder++
+		return
+	}
 	c.stack.cpu.ChargeTo(vtime.AccountKernel, vtime.SocketOp)
 	c.recvQ = append(c.recvQ, pkt.Payload)
 	c.ack = pkt.Seq + uint32(len(pkt.Payload))

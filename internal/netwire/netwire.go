@@ -65,6 +65,9 @@ type Link struct {
 	bandwidth int64 // bits per second
 	latency   vtime.Duration
 	nics      map[string]*NIC
+	// faults, when non-nil, is the deterministic fault injector (see
+	// faults.go). The lossless default never allocates it.
+	faults *faultState
 	// Frames counts frames delivered.
 	Frames int64
 	// Dropped counts frames addressed to unattached NICs.
@@ -189,32 +192,95 @@ func (n *NIC) Send(f *Frame) error {
 	end := start.Add(n.link.SerializationDelay(f.Size))
 	n.txBusyUntil = end
 	deliverAt := end.Add(n.link.latency)
-	dst := f.Dst
-	n.link.sim.At(deliverAt, func() {
-		if dst == Broadcast {
-			delivered := false
-			for _, peer := range n.link.nics {
-				if peer == n || !peer.hasReceiver() {
-					continue
+
+	// Fault injection: verdicts — including partition membership — are
+	// drawn at send time, so the schedule depends only on the seed, the
+	// traffic sequence, and the partition set at the instant of
+	// transmission. Frames already in flight when a cut happens still
+	// arrive, and frames sent during a cut stay lost even if it heals
+	// before their delivery instant.
+	out := f
+	var blocked map[string]bool
+	if fs := n.link.faults; fs != nil {
+		if len(fs.parts) > 0 {
+			if f.Dst != Broadcast {
+				if fs.parts[pairKey(n.addr, f.Dst)] {
+					fs.stats.PartitionDrops++
+					return nil
 				}
-				n.link.Frames++
-				peer.RxFrames++
-				peer.deliver(f)
-				delivered = true
+			} else {
+				for addr := range n.link.nics {
+					if fs.parts[pairKey(n.addr, addr)] {
+						if blocked == nil {
+							blocked = make(map[string]bool)
+						}
+						blocked[addr] = true
+					}
+				}
 			}
-			if !delivered {
-				n.link.Dropped++
+		}
+		v := fs.draw()
+		if v.drop {
+			return nil // consumed wire time, vanished in flight
+		}
+		if v.corrupt {
+			c, ok := f.Payload.(Corruptible)
+			if !ok {
+				// The receiver's FCS check would reject the mangled
+				// frame: corruption of an opaque payload is a drop.
+				return nil
 			}
-			return
+			g := *f
+			g.Payload = c.CorruptedCopy(v.entropy)
+			out = &g
 		}
-		peer, ok := n.link.nics[dst]
-		if !ok || !peer.hasReceiver() {
-			n.link.Dropped++
-			return
+		if v.reorder {
+			deliverAt = deliverAt.Add(fs.reorderDelay())
 		}
-		n.link.Frames++
-		peer.RxFrames++
-		peer.deliver(f)
-	})
+		if v.dup {
+			// The copy trails the original by one serialization delay, as
+			// a spurious retransmission would.
+			dupAt := deliverAt.Add(n.link.SerializationDelay(f.Size))
+			dupFrame := out
+			n.link.sim.At(dupAt, func() { n.dispatchFrame(dupFrame, blocked) })
+		}
+	}
+	n.link.sim.At(deliverAt, func() { n.dispatchFrame(out, blocked) })
 	return nil
+}
+
+// dispatchFrame performs the delivery half of Send at the scheduled
+// instant. blocked is the set of peers partitioned from the sender at
+// transmission time (broadcast only; unicast partitions are filtered in
+// Send before the frame is scheduled).
+func (n *NIC) dispatchFrame(f *Frame, blocked map[string]bool) {
+	l := n.link
+	if f.Dst == Broadcast {
+		delivered := false
+		for _, peer := range l.nics {
+			if peer == n || !peer.hasReceiver() {
+				continue
+			}
+			if blocked[peer.addr] {
+				l.faults.stats.PartitionDrops++
+				continue
+			}
+			l.Frames++
+			peer.RxFrames++
+			peer.deliver(f)
+			delivered = true
+		}
+		if !delivered {
+			l.Dropped++
+		}
+		return
+	}
+	peer, ok := l.nics[f.Dst]
+	if !ok || !peer.hasReceiver() {
+		l.Dropped++
+		return
+	}
+	l.Frames++
+	peer.RxFrames++
+	peer.deliver(f)
 }

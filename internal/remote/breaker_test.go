@@ -1,0 +1,111 @@
+package remote
+
+import (
+	"testing"
+
+	"spin/internal/vtime"
+)
+
+func newBreaker(cfg BreakerConfig) (*Breaker, *vtime.Clock) {
+	clock := &vtime.Clock{}
+	return NewBreaker(cfg, clock), clock
+}
+
+func TestBreakerTripsAtBudget(t *testing.T) {
+	b, _ := newBreaker(BreakerConfig{TripBudget: 3})
+	var transitions [][2]BreakerState
+	b.OnTransition = func(from, to BreakerState) {
+		transitions = append(transitions, [2]BreakerState{from, to})
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("tripped below budget")
+	}
+	b.Failure() // third consecutive: trip
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("did not trip at budget")
+	}
+	if b.Trips != 1 {
+		t.Fatalf("trips = %d", b.Trips)
+	}
+	if len(transitions) != 1 || transitions[0] != [2]BreakerState{BreakerClosed, BreakerOpen} {
+		t.Fatalf("transitions = %v", transitions)
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b, _ := newBreaker(BreakerConfig{TripBudget: 3})
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("failure run survived an intervening success")
+	}
+}
+
+func TestBreakerHalfOpensAfterCooldownAndClosesOnProbeSuccess(t *testing.T) {
+	b, clock := newBreaker(BreakerConfig{TripBudget: 1, Cooldown: 100})
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("not open")
+	}
+	clock.Advance(99)
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("half-opened early")
+	}
+	clock.Advance(1)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("did not half-open at cooldown")
+	}
+	// One probe admitted, further traffic rejected while it is in flight.
+	if !b.Allow() {
+		t.Fatal("probe rejected")
+	}
+	if b.Allow() {
+		t.Fatal("second probe admitted with HalfOpenProbes=1")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("probe success did not close")
+	}
+}
+
+func TestBreakerReopensOnProbeFailure(t *testing.T) {
+	b, clock := newBreaker(BreakerConfig{TripBudget: 1, Cooldown: 100})
+	b.Failure()
+	clock.Advance(100)
+	if !b.Allow() {
+		t.Fatal("probe rejected")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("probe failure did not re-open")
+	}
+	if b.Trips != 2 {
+		t.Fatalf("trips = %d", b.Trips)
+	}
+	// The cooldown restarts from the re-trip.
+	clock.Advance(99)
+	if b.State() != BreakerOpen {
+		t.Fatal("cooldown did not restart")
+	}
+	clock.Advance(1)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("no second half-open")
+	}
+}
+
+func TestBreakerForceOpen(t *testing.T) {
+	b, _ := newBreaker(BreakerConfig{})
+	b.ForceOpen()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("ForceOpen did not trip")
+	}
+	b.ForceOpen() // idempotent while open
+	if b.Trips != 1 {
+		t.Fatalf("trips = %d", b.Trips)
+	}
+}

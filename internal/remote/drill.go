@@ -1,0 +1,299 @@
+package remote
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"spin/internal/admit"
+	"spin/internal/dispatch"
+	"spin/internal/fault"
+	"spin/internal/kernel"
+	"spin/internal/netstack"
+	"spin/internal/netwire"
+	"spin/internal/rtti"
+	"spin/internal/trace"
+	"spin/internal/vtime"
+)
+
+// The two-machine partition drill: one deterministic scenario exercising
+// the full failure-domain story — clean-wire latency (remote vs local
+// crossover), a lossy phase proving idempotent retry + dedup, and a
+// partition phase walking the breaker through trip, heartbeat-declared
+// partition, degradation, heal, half-open, and close. cmd/spinremote
+// formats the report; spinbench -table remote prints the same figures as
+// a table. Everything runs in virtual time, so every number is
+// reproducible byte-for-byte from the seed.
+
+// DrillReport is the measured outcome of one RunDrill.
+type DrillReport struct {
+	// Clean phase: virtual-time latency.
+	CleanRaises  int
+	CleanRTTUs   float64 // mean remote raise→ack round trip, µs
+	LocalRaiseUs float64 // mean local metered raise, µs
+	CrossoverX   float64 // CleanRTTUs / LocalRaiseUs
+	// Lossy phase: delivery accounting under seeded drop.
+	LossyRaises    int
+	LossyDropRate  float64
+	LossyDelivered int64
+	LossyDeduped   int64
+	LossyRetried   int64
+	LossyTimedOut  int64
+	LossyShed      int64
+	WireDrops      int64 // frames the fault plan actually dropped
+	// Exactly-once proof: handler firings on B during the lossy phase
+	// must equal accepted raises.
+	LossyApplied int64
+	LossyFired   int64
+	// Partition phase: breaker + degradation accounting.
+	PartitionShed     int64
+	PartitionRerouted int64
+	HeartbeatMisses   int64
+	BreakerTrips      int64
+	Transitions       []string // breaker transitions in order, "closed->open" style
+	HealedDelivered   int64    // raises delivered after the heal
+}
+
+// drillRig is the two-machine bench: A raises across the wire into B.
+type drillRig struct {
+	a, b   *kernel.Machine
+	sa, sb *netstack.Stack
+	link   *netwire.Link
+	recv   *Receiver
+	hits   atomic.Int64
+}
+
+const drillPort = 9000
+
+func newDrillRig() (*drillRig, error) {
+	a, err := kernel.Boot(kernel.Config{Name: "a", Metered: true})
+	if err != nil {
+		return nil, err
+	}
+	b, err := kernel.Boot(kernel.Config{Name: "b", ShareWith: a})
+	if err != nil {
+		return nil, err
+	}
+	link := netwire.NewLink(a.Sim, 0, 0)
+	nicA, err := link.Attach("mac-a")
+	if err != nil {
+		return nil, err
+	}
+	nicB, err := link.Attach("mac-b")
+	if err != nil {
+		return nil, err
+	}
+	arp := map[string]string{"10.0.0.1": "mac-a", "10.0.0.2": "mac-b"}
+	sa, err := netstack.New(netstack.Config{Dispatcher: a.Dispatcher, CPU: a.CPU,
+		Sched: a.Sched, NIC: nicA, IP: "10.0.0.1", ARP: arp})
+	if err != nil {
+		return nil, err
+	}
+	sb, err := netstack.New(netstack.Config{Dispatcher: b.Dispatcher, CPU: b.CPU,
+		Sched: b.Sched, NIC: nicB, IP: "10.0.0.2", ARP: arp, Prefix: "B:"})
+	if err != nil {
+		return nil, err
+	}
+	r := &drillRig{a: a, b: b, sa: sa, sb: sb, link: link}
+	sig := rtti.Signature{Args: []rtti.Type{rtti.Word}}
+	_, err = b.Dispatcher.DefineEvent("B:Remote.Ping", sig,
+		dispatch.WithIntrinsic(dispatch.Handler{
+			Proc: &rtti.Proc{Name: "Remote.Ping", Sig: sig},
+			Fn:   func(clo any, args []any) any { r.hits.Add(1); return nil },
+		}))
+	if err != nil {
+		return nil, err
+	}
+	r.recv, err = Serve(ReceiverConfig{Stack: sb, Sched: b.Sched,
+		Dispatcher: b.Dispatcher, Port: drillPort, EventPrefix: "B:"})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *drillRig) runFor(d vtime.Duration) {
+	r.a.Sim.RunUntil(r.a.Clock.Now().Add(d))
+}
+
+func drillMs(n int) vtime.Duration { return vtime.Duration(n) * 1000 * 1000 }
+
+// RunDrill executes the three-phase drill with the given fault seed and
+// returns the report. Deterministic: same seed, same report.
+func RunDrill(seed uint64) (*DrillReport, error) {
+	rig, err := newDrillRig()
+	if err != nil {
+		return nil, err
+	}
+	rep := &DrillReport{}
+
+	// ---- Phase 1: clean wire. Remote RTT vs local raise cost. ----
+	p := NewPeer(PeerConfig{
+		Name: "b", Self: "machine-a", Addr: "10.0.0.2", Port: drillPort,
+		Stack: rig.sa, Sched: rig.a.Sched, Clock: rig.a.Clock,
+	})
+	const cleanN = 32
+	rep.CleanRaises = cleanN
+	var rttTotal vtime.Duration
+	for i := 0; i < cleanN; i++ {
+		start := rig.a.Clock.Now()
+		acked := false
+		err := p.RaiseCall(Binding{Event: "Remote.Ping"}, func(s Status, err error) {
+			rttTotal += rig.a.Clock.Now().Sub(start)
+			acked = true
+		}, uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("clean raise %d: %w", i, err)
+		}
+		rig.runFor(drillMs(30))
+		if !acked {
+			return nil, fmt.Errorf("clean raise %d: no ack within 30ms", i)
+		}
+	}
+	rep.CleanRTTUs = float64(rttTotal) / float64(cleanN) / 1e3
+
+	// The local comparator: the same event shape dispatched on A without
+	// the wire.
+	sig := rtti.Signature{Args: []rtti.Type{rtti.Word}}
+	local, err := rig.a.Dispatcher.DefineEvent("Local.Ping", sig,
+		dispatch.WithIntrinsic(dispatch.Handler{
+			Proc: &rtti.Proc{Name: "Local.Ping", Sig: sig},
+			Fn:   func(clo any, args []any) any { return nil },
+		}))
+	if err != nil {
+		return nil, err
+	}
+	const localN = 1000
+	lstart := rig.a.Clock.Now()
+	for i := 0; i < localN; i++ {
+		if _, err := local.Raise1(uint64(i)); err != nil {
+			return nil, err
+		}
+	}
+	rep.LocalRaiseUs = float64(rig.a.Clock.Now().Sub(lstart)) / float64(localN) / 1e3
+	if rep.LocalRaiseUs > 0 {
+		rep.CrossoverX = rep.CleanRTTUs / rep.LocalRaiseUs
+	}
+
+	// ---- Phase 2: lossy wire. Retry + dedup deliver exactly once. ----
+	rig.link.InjectFaults(netwire.FaultPlan{Seed: seed, Drop: 0.10})
+	appliedBefore := rig.recv.Stats().Applied
+	firedBefore := rig.recv.Stats().Fired
+	statsBefore := p.Stats()
+	ledgerBefore := p.Ledger()
+	const lossyN = 64
+	rep.LossyRaises = lossyN
+	rep.LossyDropRate = 0.10
+	for i := 0; i < lossyN; i++ {
+		_ = p.Raise("Remote.Ping", uint64(i))
+		rig.runFor(drillMs(10))
+	}
+	rig.runFor(drillMs(600)) // drain retries through their deadlines
+	st := p.Stats()
+	rep.LossyDelivered = st.Delivered - statsBefore.Delivered
+	rep.LossyDeduped = st.Deduped - statsBefore.Deduped
+	rep.LossyTimedOut = st.TimedOut - statsBefore.TimedOut
+	rep.LossyShed = st.Shed - statsBefore.Shed
+	rep.LossyRetried = p.Ledger().Retried - ledgerBefore.Retried
+	rep.LossyApplied = rig.recv.Stats().Applied - appliedBefore
+	rep.LossyFired = rig.recv.Stats().Fired - firedBefore
+	rep.WireDrops = rig.link.FaultStats().Drops
+	rig.link.ClearFaults()
+	p.Close()
+	rig.runFor(drillMs(100))
+
+	// ---- Phase 3: partition. Heartbeats declare it, the breaker opens,
+	// bound raises degrade to fallbacks, the heal half-opens then closes. ----
+	deg := admit.NewDegrader([]admit.Level{
+		{Name: "tripped", MinPriority: 3},
+		{Name: "partitioned", MinPriority: 1},
+	}, 1)
+	tracer := trace.New(trace.Config{Capacity: 128})
+	faults := fault.NewLedger(fault.Policy{})
+	p2 := NewPeer(PeerConfig{
+		Name: "b", Self: "machine-a2", Addr: "10.0.0.2", Port: drillPort,
+		Stack: rig.sa, Sched: rig.a.Sched, Clock: rig.a.Clock,
+		Deadline: drillMs(30), MaxAttempts: 2,
+		HeartbeatEvery: drillMs(10), HeartbeatMisses: 2,
+		Breaker:  BreakerConfig{TripBudget: 100, Cooldown: drillMs(50)},
+		Degrader: deg, Tracer: tracer, Faults: faults,
+	})
+	var localHits atomic.Int64
+	fb, err := rig.a.Dispatcher.DefineEvent("Local.PingFallback", sig,
+		dispatch.WithIntrinsic(dispatch.Handler{
+			Proc: &rtti.Proc{Name: "Local.PingFallback", Sig: sig},
+			Fn:   func(clo any, args []any) any { localHits.Add(1); return nil },
+		}))
+	if err != nil {
+		return nil, err
+	}
+	if err := p2.Raise("Remote.Ping", uint64(0)); err != nil { // warm the route
+		return nil, err
+	}
+	rig.runFor(drillMs(25))
+	rig.link.Partition("mac-a", "mac-b")
+	rig.runFor(drillMs(60)) // two missed probes declare the partition
+	// Optional traffic during the partition: bound raises re-route, the
+	// unbound ones shed — all visible in the admission ledger.
+	for i := 0; i < 4; i++ {
+		_ = p2.RaiseBound(Binding{Event: "Remote.Ping", Priority: 2, Fallback: fb}, uint64(i))
+		_ = p2.RaiseBound(Binding{Event: "Remote.Ping", Priority: 2}, uint64(i))
+	}
+	rig.link.Heal("mac-a", "mac-b")
+	rig.runFor(drillMs(200)) // probes heal the breaker through half-open
+	healedBefore := p2.Stats().Delivered
+	_ = p2.Raise("Remote.Ping", uint64(9))
+	rig.runFor(drillMs(50))
+
+	st2 := p2.Stats()
+	rep.PartitionShed = st2.Shed
+	rep.PartitionRerouted = st2.Rerouted
+	rep.HeartbeatMisses = st2.HeartbeatMisses
+	rep.BreakerTrips = p2.Breaker().Trips
+	rep.HealedDelivered = st2.Delivered - healedBefore
+	for _, sp := range tracer.Snapshot() {
+		if sp.Kind != trace.KindBreaker {
+			continue
+		}
+		from := BreakerState(sp.Detail >> 8 & 0xFF)
+		to := BreakerState(sp.Detail & 0xFF)
+		rep.Transitions = append(rep.Transitions, from.String()+"->"+to.String())
+	}
+	p2.Close()
+	rig.runFor(drillMs(100))
+	return rep, nil
+}
+
+// BenchRig is the benchsmoke harness: the drill rig with the remote
+// subsystem resident and warmed by real wire traffic, exposing machine
+// A's dispatcher so a purely local event can be measured alongside it.
+type BenchRig struct {
+	// Local is machine A's dispatcher — the one sharing a machine with
+	// the peer and the served wire.
+	Local *dispatch.Dispatcher
+	rig   *drillRig
+	peer  *Peer
+}
+
+// NewBenchRig boots the two-machine rig, serves a receiver on B, raises a
+// few events across the wire from A, and returns with everything still
+// resident.
+func NewBenchRig() (*BenchRig, error) {
+	rig, err := newDrillRig()
+	if err != nil {
+		return nil, err
+	}
+	p := NewPeer(PeerConfig{
+		Name: "b", Self: "bench-a", Addr: "10.0.0.2", Port: drillPort,
+		Stack: rig.sa, Sched: rig.a.Sched, Clock: rig.a.Clock,
+	})
+	for i := 0; i < 8; i++ {
+		if err := p.Raise("Remote.Ping", uint64(i)); err != nil {
+			return nil, err
+		}
+		rig.runFor(drillMs(10))
+	}
+	if p.Stats().Delivered != 8 {
+		return nil, fmt.Errorf("bench rig warmup: delivered %d of 8", p.Stats().Delivered)
+	}
+	return &BenchRig{Local: rig.a.Dispatcher, rig: rig, peer: p}, nil
+}

@@ -1,0 +1,391 @@
+// Package remote carries event raises across the simulated wire: a Raise
+// on machine A fires handlers on machine B over the repo's own netstack
+// TCP and the calibrated 10 Mb/s Ethernet. The paper's dynamic binding
+// model stops at the machine boundary; this package extends it with the
+// failure-domain semantics a lossy wire demands — per-raise deadlines,
+// idempotent retry with receiver-side deduplication (at-most-once
+// effects), per-peer circuit breaking charged to the fault ledger, and
+// degradation to local fallbacks under partition (DESIGN.md decision 18).
+package remote
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Wire framing mirrors the journal's record discipline exactly:
+//
+//	kind:1 | payloadLen:uvarint | payload | crc32c:4 (little-endian)
+//
+// with a self-describing TLV payload — key uvarint (id<<1 | wire), wire 0
+// a uvarint value, wire 1 a length-prefixed byte string; zero fields
+// omitted, signed values zigzag-folded, unknown fields skipped. The CRC
+// covers kind, length, and payload, so one flipped byte anywhere in a
+// frame is detected before it can reach the dispatcher (the corruption
+// sweep in wire_test.go proves every single-byte flip is caught or yields
+// a clean truncation).
+
+// MsgKind discriminates wire messages.
+type MsgKind uint8
+
+const (
+	// MsgRaise asks the receiver to fire an event. It carries the sender's
+	// identity, an idempotency token, the event name, the remaining
+	// deadline budget, and the serialized argument train.
+	MsgRaise MsgKind = iota + 1
+	// MsgAck reports the outcome of a raise back to the sender.
+	MsgAck
+	// MsgHeartbeat probes peer health; Token is a nonce echoed in the ack.
+	MsgHeartbeat
+	// MsgHeartbeatAck answers a heartbeat.
+	MsgHeartbeatAck
+)
+
+//spinvet:pure
+func (k MsgKind) String() string {
+	switch k {
+	case MsgRaise:
+		return "raise"
+	case MsgAck:
+		return "ack"
+	case MsgHeartbeat:
+		return "heartbeat"
+	case MsgHeartbeatAck:
+		return "heartbeat-ack"
+	}
+	return "msg(?)"
+}
+
+// Status is the receiver's verdict on a raise, carried in MsgAck.
+type Status uint8
+
+const (
+	// StatusApplied: the raise was dispatched; Fired carries the handler
+	// count.
+	StatusApplied Status = iota + 1
+	// StatusNoHandler: the event exists but dispatch found no handler and
+	// no default.
+	StatusNoHandler
+	// StatusAmbiguous: a synchronous raise fired multiple result-bearing
+	// handlers; the result is unusable but the effects happened.
+	StatusAmbiguous
+	// StatusRejected: the receiver refused the raise (admission shed).
+	StatusRejected
+	// StatusDup: the token was already applied; the effects are NOT
+	// repeated. The sender treats this as success (the earlier attempt
+	// landed).
+	StatusDup
+	// StatusUnknown: the event name is not defined on the receiver.
+	StatusUnknown
+)
+
+//spinvet:pure
+func (s Status) String() string {
+	switch s {
+	case StatusApplied:
+		return "applied"
+	case StatusNoHandler:
+		return "no-handler"
+	case StatusAmbiguous:
+		return "ambiguous"
+	case StatusRejected:
+		return "rejected"
+	case StatusDup:
+		return "dup"
+	case StatusUnknown:
+		return "unknown-event"
+	}
+	return "status(?)"
+}
+
+// Message is one wire message; the field set is the superset across kinds.
+type Message struct {
+	Kind MsgKind
+	// Sender identifies the sending peer. Dedup windows are keyed by it,
+	// not by connection, so at-most-once survives redials.
+	Sender string
+	// Token is the raise's idempotency token (or the heartbeat nonce).
+	Token uint64
+	// Event is the target event name (MsgRaise).
+	Event string
+	// DeadlineNS is the sender's remaining per-raise budget in
+	// nanoseconds, advisory for receiver-side shedding.
+	DeadlineNS int64
+	// Status and Fired report the outcome (MsgAck).
+	Status Status
+	Fired  int64
+	// Args is the argument train. Only wire-encodable values survive the
+	// trip: nil, uint64, int64, int, bool, string, []byte.
+	Args []any
+}
+
+// Payload field identifiers.
+const (
+	fieldSender   = 1 // string
+	fieldToken    = 2 // uvarint
+	fieldEvent    = 3 // string
+	fieldDeadline = 4 // zigzag uvarint
+	fieldStatus   = 5 // uvarint
+	fieldFired    = 6 // zigzag uvarint
+	fieldArgs     = 7 // bytes (nested arg train)
+)
+
+// Argument tags inside the nested train.
+const (
+	argNil   = 0
+	argWord  = 1 // uint64, uvarint
+	argInt   = 2 // int64/int, zigzag uvarint
+	argStr   = 3
+	argBytes = 4
+	argFalse = 5
+	argTrue  = 6
+)
+
+// Errors.
+var (
+	// ErrTruncated reports a frame cut off by the end of input — for a
+	// stream decoder this means "wait for more bytes".
+	ErrTruncated = fmt.Errorf("remote: truncated frame")
+	// ErrCorrupt reports a frame whose CRC does not match its bytes. A
+	// stream decoder cannot resynchronize past it; the connection must be
+	// torn down.
+	ErrCorrupt = fmt.Errorf("remote: frame CRC mismatch")
+	// ErrBadKind reports an out-of-range message kind byte.
+	ErrBadKind = fmt.Errorf("remote: unknown message kind")
+	// ErrBadArg reports an argument value that cannot cross the wire.
+	ErrBadArg = fmt.Errorf("remote: argument type not wire-encodable")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func putUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+func putField(dst []byte, id int, v uint64) []byte {
+	if v == 0 {
+		return dst
+	}
+	dst = putUvarint(dst, uint64(id)<<1)
+	return putUvarint(dst, v)
+}
+
+func putStringField(dst []byte, id int, s string) []byte {
+	if s == "" {
+		return dst
+	}
+	dst = putUvarint(dst, uint64(id)<<1|1)
+	dst = putUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func putBytesField(dst []byte, id int, b []byte) []byte {
+	if len(b) == 0 {
+		return dst
+	}
+	dst = putUvarint(dst, uint64(id)<<1|1)
+	dst = putUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+//spinvet:pure
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+//spinvet:pure
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendArgs encodes the argument train: count, then tag+value per arg.
+func appendArgs(dst []byte, args []any) ([]byte, error) {
+	dst = putUvarint(dst, uint64(len(args)))
+	for _, a := range args {
+		switch v := a.(type) {
+		case nil:
+			dst = putUvarint(dst, argNil)
+		case uint64:
+			dst = putUvarint(dst, argWord)
+			dst = putUvarint(dst, v)
+		case int64:
+			dst = putUvarint(dst, argInt)
+			dst = putUvarint(dst, zigzag(v))
+		case int:
+			dst = putUvarint(dst, argInt)
+			dst = putUvarint(dst, zigzag(int64(v)))
+		case bool:
+			if v {
+				dst = putUvarint(dst, argTrue)
+			} else {
+				dst = putUvarint(dst, argFalse)
+			}
+		case string:
+			dst = putUvarint(dst, argStr)
+			dst = putUvarint(dst, uint64(len(v)))
+			dst = append(dst, v...)
+		case []byte:
+			dst = putUvarint(dst, argBytes)
+			dst = putUvarint(dst, uint64(len(v)))
+			dst = append(dst, v...)
+		default:
+			return nil, fmt.Errorf("%w: %T", ErrBadArg, a)
+		}
+	}
+	return dst, nil
+}
+
+// decodeArgs decodes an argument train produced by appendArgs.
+func decodeArgs(p []byte) ([]any, error) {
+	count, n := binary.Uvarint(p)
+	if n <= 0 || count > uint64(len(p)) {
+		return nil, ErrCorrupt
+	}
+	p = p[n:]
+	args := make([]any, 0, count)
+	for i := uint64(0); i < count; i++ {
+		tag, tn := binary.Uvarint(p)
+		if tn <= 0 {
+			return nil, ErrCorrupt
+		}
+		p = p[tn:]
+		switch tag {
+		case argNil:
+			args = append(args, nil)
+		case argFalse:
+			args = append(args, false)
+		case argTrue:
+			args = append(args, true)
+		case argWord, argInt:
+			v, vn := binary.Uvarint(p)
+			if vn <= 0 {
+				return nil, ErrCorrupt
+			}
+			p = p[vn:]
+			if tag == argWord {
+				args = append(args, v)
+			} else {
+				args = append(args, unzigzag(v))
+			}
+		case argStr, argBytes:
+			slen, sn := binary.Uvarint(p)
+			if sn <= 0 || slen > uint64(len(p)-sn) {
+				return nil, ErrCorrupt
+			}
+			val := p[sn : sn+int(slen)]
+			p = p[sn+int(slen):]
+			if tag == argStr {
+				args = append(args, string(val))
+			} else {
+				args = append(args, append([]byte(nil), val...))
+			}
+		default:
+			return nil, ErrCorrupt
+		}
+	}
+	return args, nil
+}
+
+// AppendMessage encodes m as one framed message onto dst. It fails only
+// for non-encodable argument values.
+func AppendMessage(dst []byte, m *Message) ([]byte, error) {
+	var payload [256]byte
+	p := payload[:0]
+	p = putStringField(p, fieldSender, m.Sender)
+	p = putField(p, fieldToken, m.Token)
+	p = putStringField(p, fieldEvent, m.Event)
+	p = putField(p, fieldDeadline, zigzag(m.DeadlineNS))
+	p = putField(p, fieldStatus, uint64(m.Status))
+	p = putField(p, fieldFired, zigzag(m.Fired))
+	if len(m.Args) > 0 {
+		var train [192]byte
+		tr, err := appendArgs(train[:0], m.Args)
+		if err != nil {
+			return nil, err
+		}
+		p = putBytesField(p, fieldArgs, tr)
+	}
+
+	start := len(dst)
+	dst = append(dst, byte(m.Kind))
+	dst = putUvarint(dst, uint64(len(p)))
+	dst = append(dst, p...)
+	crc := crc32.Checksum(dst[start:], crcTable)
+	return binary.LittleEndian.AppendUint32(dst, crc), nil
+}
+
+// DecodeMessage decodes one frame from the front of buf, returning the
+// message and the number of bytes consumed. ErrTruncated means the buffer
+// holds an incomplete frame (wait for more stream bytes); ErrCorrupt and
+// ErrBadKind mean the stream is damaged beyond resynchronization.
+func DecodeMessage(buf []byte) (Message, int, error) {
+	var m Message
+	if len(buf) < 1 {
+		return m, 0, ErrTruncated
+	}
+	kind := MsgKind(buf[0])
+	if kind == 0 || kind > MsgHeartbeatAck {
+		return m, 0, fmt.Errorf("%w: %d", ErrBadKind, buf[0])
+	}
+	plen, n := binary.Uvarint(buf[1:])
+	if n <= 0 {
+		return m, 0, ErrTruncated
+	}
+	head := 1 + n
+	if plen > uint64(len(buf)-head) {
+		return m, 0, ErrTruncated
+	}
+	frameLen := head + int(plen)
+	if len(buf) < frameLen+4 {
+		return m, 0, ErrTruncated
+	}
+	want := binary.LittleEndian.Uint32(buf[frameLen:])
+	if crc32.Checksum(buf[:frameLen], crcTable) != want {
+		return m, 0, ErrCorrupt
+	}
+	m.Kind = kind
+	p := buf[head:frameLen]
+	for len(p) > 0 {
+		key, kn := binary.Uvarint(p)
+		if kn <= 0 {
+			return m, 0, ErrCorrupt
+		}
+		p = p[kn:]
+		if key&1 == 1 { // length-prefixed bytes
+			slen, sn := binary.Uvarint(p)
+			if sn <= 0 || slen > uint64(len(p)-sn) {
+				return m, 0, ErrCorrupt
+			}
+			val := p[sn : sn+int(slen)]
+			p = p[sn+int(slen):]
+			switch key >> 1 {
+			case fieldSender:
+				m.Sender = string(val)
+			case fieldEvent:
+				m.Event = string(val)
+			case fieldArgs:
+				args, err := decodeArgs(val)
+				if err != nil {
+					return m, 0, err
+				}
+				m.Args = args
+			}
+			continue
+		}
+		v, vn := binary.Uvarint(p)
+		if vn <= 0 {
+			return m, 0, ErrCorrupt
+		}
+		p = p[vn:]
+		switch key >> 1 {
+		case fieldToken:
+			m.Token = v
+		case fieldDeadline:
+			m.DeadlineNS = unzigzag(v)
+		case fieldStatus:
+			m.Status = Status(v)
+		case fieldFired:
+			m.Fired = unzigzag(v)
+		}
+	}
+	return m, frameLen + 4, nil
+}

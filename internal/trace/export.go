@@ -71,6 +71,8 @@ func spanName(sp Span) string {
 		return fmt.Sprintf("%s shed [depth %d]", sp.Event, sp.Detail>>8)
 	case KindDegrade:
 		return fmt.Sprintf("degrade %d -> %d [%s]", sp.Detail>>8&0xFF, sp.Detail&0xFF, sp.Name)
+	case KindBreaker:
+		return fmt.Sprintf("breaker %d -> %d [%s]", sp.Detail>>8&0xFF, sp.Detail&0xFF, sp.Name)
 	}
 	return sp.Kind.String()
 }
@@ -133,6 +135,11 @@ func exportChrome(w io.Writer, spans []Span) error {
 			ev.Args["to"] = sp.Detail & 0xFF
 			ev.Args["level"] = sp.Name
 			ev.Args["escalation"] = sp.Pass
+		case KindBreaker:
+			ev.Args["from"] = sp.Detail >> 8 & 0xFF
+			ev.Args["to"] = sp.Detail & 0xFF
+			ev.Args["peer"] = sp.Name
+			ev.Args["trip"] = sp.Pass
 		}
 		file.TraceEvents = append(file.TraceEvents, ev)
 	}

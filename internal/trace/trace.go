@@ -62,6 +62,10 @@ const (
 	// KindDegrade marks a degradation-level transition; Detail packs the
 	// from and to levels, Pass marks an escalation.
 	KindDegrade
+	// KindBreaker marks a remote peer's circuit-breaker transition; Detail
+	// packs the from and to states, Pass marks a trip (any transition into
+	// the open state).
+	KindBreaker
 )
 
 func (k Kind) String() string {
@@ -88,6 +92,8 @@ func (k Kind) String() string {
 		return "shed"
 	case KindDegrade:
 		return "degrade"
+	case KindBreaker:
+		return "breaker"
 	}
 	return "kind(?)"
 }
@@ -411,6 +417,21 @@ func (t *Tracer) Degrade(from, to int, name string) {
 		(uint64(from)&0xFF)<<8|uint64(to)&0xFF)
 }
 
+// Breaker records a remote peer's circuit-breaker transition, the
+// quarantine-style span for a failure domain that is a machine rather
+// than a handler: the peer name keys the span, Detail packs the from and
+// to states, and a transition into the open state is flagged Pass (the
+// trip, the span operators alert on).
+func (t *Tracer) Breaker(peer string, from, to int) {
+	p := t.Program(EventMeta{Event: "*", Steps: []StepMeta{{Name: peer}}})
+	var flags uint64
+	if to == 1 { // remote.BreakerOpen
+		flags |= flagPass
+	}
+	t.emit(0, pack(p.id, 0, 0, KindBreaker, ModeSync, flags), t.now(), 0,
+		(uint64(from)&0xFF)<<8|uint64(to)&0xFF)
+}
+
 // Probation records a quarantined binding's re-admission under a tightened
 // budget; restored marks the later return to full health.
 func (t *Tracer) Probation(event, handler string, restored bool) {
@@ -465,7 +486,7 @@ func (t *Tracer) Snapshot() []Span {
 			} else if mode == ModeDefault {
 				sp.Name = meta.Default
 			}
-		case KindReject, KindFault, KindQuarantine, KindProbation, KindDegrade:
+		case KindReject, KindFault, KindQuarantine, KindProbation, KindDegrade, KindBreaker:
 			if len(meta.Steps) > 0 {
 				sp.Name = meta.Steps[0].Name
 			}
