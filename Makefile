@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint spinvet alloccheck build test race fuzz-smoke faultcheck overloadcheck journalcheck remotecheck bench benchsmoke profile tables json
+.PHONY: check vet lint spinvet alloccheck build test race fuzz-smoke faultcheck overloadcheck journalcheck remotecheck shardcheck bench benchsmoke profile tables json
 
 check: vet lint build test race
 
@@ -74,6 +74,13 @@ journalcheck:
 remotecheck:
 	$(GO) test -race -count=2 -run 'Remote|Breaker|Dedup|Wire|Partition|Heartbeat|Teardown|Abort|Inject|OutOfOrder|Drill' ./internal/remote/ ./internal/netstack/ ./internal/netwire/
 
+# The sharded-plane suite under the race detector: routing stability while
+# installs, raises, and reshards run concurrently; the reshard differential
+# against a single-dispatcher oracle (identical fire traces, ledgers, and
+# journal markers); and per-shard admission/fault-domain identity.
+shardcheck:
+	$(GO) test -race -count=2 -run 'Shard|Ring|Router|Reshard|Remote|ConcurrentDefine' ./internal/shard/ ./internal/kernel/
+
 # Native (wall-clock) microbenchmarks, including the zero-allocation
 # parallel raise path.
 bench:
@@ -83,7 +90,7 @@ bench:
 # stay within 25% of the committed inline/bypass ratio recorded in
 # BENCH_dispatch.json. Ratio-based so it is meaningful on any host.
 benchsmoke:
-	SPIN_BENCH_SMOKE=1 $(GO) test -run 'TestBenchSmokeInlinePlan|TestBenchSmokeBatch|TestBenchSmokeRemote' -count=1 -v .
+	SPIN_BENCH_SMOKE=1 $(GO) test -run 'TestBenchSmokeInlinePlan|TestBenchSmokeBatch|TestBenchSmokeRemote|TestBenchSmokeShard' -count=1 -v .
 
 # CPU profile of the parallel raise benchmarks. EXPERIMENTS.md ("Reading
 # the inline-plan profile") explains what to look for in the output of

@@ -19,6 +19,7 @@ import (
 	"spin/internal/kernel"
 	"spin/internal/remote"
 	"spin/internal/rtti"
+	"spin/internal/shard"
 )
 
 // smokeTrajectory is the subset of the BENCH_dispatch.json schema the gate
@@ -41,6 +42,11 @@ type smokeTrajectory struct {
 				// wire traffic already exchanged) must cost at most this
 				// multiple of the same raise on a machine without it.
 				RemoteLocalRatio float64 `json:"remote_local_ratio"`
+				// ShardRoutedLocalRatio is a ceiling with tolerance baked
+				// in: a synchronous bypass raise through a 4-shard
+				// router's pinned route must cost at most this multiple
+				// of the same raise on a bare dispatcher event.
+				ShardRoutedLocalRatio float64 `json:"shard_routed_local_ratio"`
 			} `json:"smoke"`
 		} `json:"native"`
 	} `json:"entries"`
@@ -306,6 +312,88 @@ func TestBenchSmokeRemote(t *testing.T) {
 
 	if bestRatio > ceiling {
 		t.Errorf("remote-resident/plain local raise ratio %.2fx exceeds committed %.2fx ceiling: remote subsystem taxes the local path",
+			bestRatio, ceiling)
+	}
+}
+
+// TestBenchSmokeShard is the routing-plane tax gate: a synchronous bypass
+// raise through a routed handle — 4 shards resident, route pinned at
+// definition time — must stay within the committed multiple of the same
+// raise on a bare dispatcher event. The routed path adds exactly one
+// atomic route load and a nil check; the gate keeps it that way.
+func TestBenchSmokeShard(t *testing.T) {
+	if os.Getenv("SPIN_BENCH_SMOKE") != "1" {
+		t.Skip("benchmark smoke gate is opt-in: set SPIN_BENCH_SMOKE=1 (make benchsmoke)")
+	}
+
+	raw, err := os.ReadFile("BENCH_dispatch.json")
+	if err != nil {
+		t.Fatalf("reading trajectory file: %v", err)
+	}
+	var traj smokeTrajectory
+	if err := json.Unmarshal(raw, &traj); err != nil {
+		t.Fatalf("parsing BENCH_dispatch.json: %v", err)
+	}
+	ceiling := 0.0
+	for _, e := range traj.Entries {
+		if s := e.Native.Smoke; s != nil && s.ShardRoutedLocalRatio > 0 {
+			ceiling = s.ShardRoutedLocalRatio
+		}
+	}
+	if ceiling == 0 {
+		t.Fatal("no entry in BENCH_dispatch.json carries native.smoke.shard_routed_local_ratio")
+	}
+
+	sig := rtti.Sig(nil, rtti.Word)
+	intrinsic := dispatch.WithIntrinsic(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Smoke.H", Module: benchMod, Sig: sig},
+		Fn:   func(any, []any) any { return nil },
+	})
+	r, err := shard.NewRouter(shard.Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routedEv, err := r.DefineEvent("Smoke.Routed", sig, intrinsic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dispatch.New()
+	plainEv, err := d.DefineEvent("Smoke.Unrouted", sig, intrinsic)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measureRouted := func(label string) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := routedEv.Raise1(uint64(7)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if allocs := res.AllocsPerOp(); allocs != 0 {
+			t.Fatalf("%s: %d allocs/op, want 0", label, allocs)
+		}
+		return float64(res.T.Nanoseconds()) / float64(res.N)
+	}
+
+	measureRouted("warmup-routed")
+	measureSerialNs(t, "warmup-unrouted", plainEv)
+	bestRatio := 0.0
+	for trial := 0; trial < 3; trial++ {
+		plainNs := measureSerialNs(t, "unrouted", plainEv)
+		routedNs := measureRouted("routed")
+		ratio := routedNs / plainNs
+		t.Logf("trial %d: unrouted %.1f ns/op, routed %.1f ns/op, ratio %.2fx",
+			trial, plainNs, routedNs, ratio)
+		if bestRatio == 0 || ratio < bestRatio {
+			bestRatio = ratio
+		}
+	}
+
+	if bestRatio > ceiling {
+		t.Errorf("routed/unrouted bypass raise ratio %.2fx exceeds committed %.2fx ceiling: the routing plane taxes the raise path",
 			bestRatio, ceiling)
 	}
 }

@@ -13,6 +13,7 @@
 //	spinbench -table batch    batched raise ingress vs. single-raise loop
 //	spinbench -table journal  lifecycle-journal raise overhead and group-commit latency
 //	spinbench -table remote   two-machine remote raise drill (latency crossover, loss, partition)
+//	spinbench -table shard    sharded-plane raise throughput scaling (1..8 shards)
 //	spinbench -table all      everything
 //	spinbench -disasm         dispatch plan disassembly tour
 //
@@ -120,6 +121,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// The shard scaling sweep is deterministic virtual time; the trailing
+	// routed-vs-unrouted comparison is native, so the table is opt-in.
+	if *table == "shard" {
+		if err := shardTable(); err != nil {
+			fmt.Fprintf(os.Stderr, "spinbench: shard: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // jsonReport is the -json output shape: the same virtual-time measurements
@@ -135,6 +144,7 @@ type jsonReport struct {
 	// microseconds.
 	AsyncUs map[string]float64 `json:"async_us,omitempty"`
 	Micro   *jsonMicro         `json:"micro,omitempty"`
+	Shard   *jsonShard         `json:"shard,omitempty"`
 }
 
 type jsonTable1 struct {
@@ -229,6 +239,15 @@ func emitJSON(w *os.File, table string) error {
 			ThreadEventedUs:    vtime.InMicros(m.ThreadEvented),
 			ThreadOverheadPct:  m.ThreadOverheadPct(),
 		}
+	}
+	// Like the remote drill, the shard table is opt-in rather than part
+	// of "all": deterministic, but not one of the paper's tables.
+	if table == "shard" {
+		s, err := shardJSON()
+		if err != nil {
+			return err
+		}
+		rep.Shard = s
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"spin/internal/dispatch"
+	"spin/internal/rtti"
+	"spin/internal/shard"
+)
+
+// shardTable prints the sharded-plane scaling table: aggregate raise
+// throughput under install/raise churn at 1, 2, 4, and 8 shards, measured
+// in deterministic virtual time (each shard meters its own Alpha-model
+// clock; the plane's makespan is the slowest shard), plus the native-time
+// routed-vs-unrouted bypass comparison TestBenchSmokeShard gates on.
+func shardTable() error {
+	fmt.Println("Sharded dispatch plane: raise throughput under install/raise churn")
+	fmt.Println("  (virtual time, 256 events, 8 install rounds x 32 raises, per-shard Alpha clocks)")
+	pts, err := shard.MeasureScalingSweep([]int{1, 2, 4, 8}, shard.ScalingConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-7s %9s %9s %12s %14s %9s %9s\n",
+		"shards", "installs", "raises", "makespan ms", "raises/sec", "speedup", "balance")
+	for _, p := range pts {
+		fmt.Printf("  %-7d %9d %9d %12.2f %14.0f %8.2fx %9.2f\n",
+			p.Shards, p.Installs, p.Raises, float64(p.Makespan)/1e6,
+			p.Throughput, p.Speedup, p.Balance)
+	}
+
+	routedNs, plainNs, err := shardRoutedVsPlain()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  routed bypass raise (4 shards resident): %6.1f ns/op native\n", routedNs)
+	fmt.Printf("  unrouted bypass raise (plain dispatcher): %5.1f ns/op native\n", plainNs)
+	if plainNs > 0 {
+		fmt.Printf("  routed/unrouted ratio: %.2fx (acceptance bound 1.15x)\n", routedNs/plainNs)
+	}
+	fmt.Println()
+	return nil
+}
+
+// shardRoutedVsPlain measures the native serial cost of a synchronous
+// bypass raise through a 4-shard router's pinned route against the same
+// raise on a bare dispatcher event.
+func shardRoutedVsPlain() (routedNs, plainNs float64, err error) {
+	sig := rtti.Sig(nil, rtti.Word)
+	mod := rtti.NewModule("Bench")
+	intrinsic := dispatch.WithIntrinsic(dispatch.Handler{
+		Proc: &rtti.Proc{Name: "Bench.H", Module: mod, Sig: sig},
+		Fn:   func(any, []any) any { return nil },
+	})
+
+	r, err := shard.NewRouter(shard.Config{Shards: 4})
+	if err != nil {
+		return 0, 0, err
+	}
+	re, err := r.DefineEvent("Bench.Routed", sig, intrinsic)
+	if err != nil {
+		return 0, 0, err
+	}
+	d := dispatch.New()
+	pe, err := d.DefineEvent("Bench.Plain", sig, intrinsic)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	measure := func(raise func() error) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := raise(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(res.T.Nanoseconds()) / float64(res.N)
+	}
+	routedNs = measure(func() error { _, err := re.Raise1(uint64(7)); return err })
+	plainNs = measure(func() error { _, err := pe.Raise1(uint64(7)); return err })
+	return routedNs, plainNs, nil
+}
+
+// jsonShard is the machine-readable shard table (spinbench -json -table
+// shard), uploaded as a CI artifact and seeded into BENCH_dispatch.json.
+type jsonShard struct {
+	// Scaling maps "shards=N" to the virtual-time point.
+	Scaling map[string]jsonShardPoint `json:"scaling"`
+	// Speedup4x is the headline acceptance figure: 4-shard aggregate
+	// raise throughput over 1-shard.
+	Speedup4x float64 `json:"speedup_4x"`
+}
+
+type jsonShardPoint struct {
+	Installs   int64   `json:"installs"`
+	Raises     int64   `json:"raises"`
+	MakespanMs float64 `json:"makespan_ms"`
+	RaisesSec  float64 `json:"raises_per_sec"`
+	Speedup    float64 `json:"speedup"`
+	Balance    float64 `json:"balance"`
+}
+
+func shardJSON() (*jsonShard, error) {
+	pts, err := shard.MeasureScalingSweep([]int{1, 2, 4, 8}, shard.ScalingConfig{})
+	if err != nil {
+		return nil, err
+	}
+	out := &jsonShard{Scaling: map[string]jsonShardPoint{}}
+	for _, p := range pts {
+		out.Scaling[fmt.Sprintf("shards=%d", p.Shards)] = jsonShardPoint{
+			Installs:   p.Installs,
+			Raises:     p.Raises,
+			MakespanMs: float64(p.Makespan) / 1e6,
+			RaisesSec:  p.Throughput,
+			Speedup:    p.Speedup,
+			Balance:    p.Balance,
+		}
+		if p.Shards == 4 {
+			out.Speedup4x = p.Speedup
+		}
+	}
+	return out, nil
+}

@@ -155,6 +155,29 @@ type Binding struct {
 // Event returns the event this binding is installed on.
 func (b *Binding) Event() *Event { return b.event }
 
+// Handler returns the binding's handler: descriptor, implementation, and
+// inline body. Immutable after installation; the shard router's move
+// protocol uses it to reinstall the binding on another dispatcher.
+func (b *Binding) Handler() Handler { return b.handler }
+
+// Closure returns the installation closure (nil when none was attached).
+func (b *Binding) Closure() any { return b.closure }
+
+// Guards returns a snapshot of the installer-supplied guards.
+func (b *Binding) Guards() []Guard {
+	b.event.mu.Lock()
+	defer b.event.mu.Unlock()
+	return append([]Guard(nil), b.guards...)
+}
+
+// Deadline returns the EPHEMERAL or asynchronous watchdog deadline (zero
+// when the installation carries none).
+func (b *Binding) Deadline() time.Duration { return b.deadline }
+
+// Credential returns the opaque credential attached at installation, for
+// re-submission to an authorizer (nil when none).
+func (b *Binding) Credential() any { return b.credential }
+
 // HandlerName returns the handler procedure's qualified name.
 func (b *Binding) HandlerName() string {
 	if b.handler.Proc == nil {

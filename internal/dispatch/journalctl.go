@@ -402,6 +402,10 @@ func (ra *ReplayApplier) Apply(rec journal.Record) error {
 		return nil
 	case journal.KindRaise:
 		return nil // statistical; nothing to re-drive
+	case journal.KindShardMove:
+		// An audit marker: the departures and arrivals it explains are
+		// replayed from their own uninstall/install records.
+		return nil
 	}
 	return fmt.Errorf("unexpected record kind %v", rec.Kind)
 }

@@ -46,7 +46,17 @@ const (
 	// Root = the chained Merkle root sealing every record since the
 	// previous seal.
 	KindSeal
+	// KindShardMove is the resharding audit marker: the named event moved
+	// between dispatcher shards (A = source shard, B = destination shard).
+	// The shard router records it on both shards' journals, bracketing the
+	// uninstall/re-install records the move emits through the normal
+	// lifecycle paths; replay treats it as an annotation, not an operation.
+	KindShardMove
 )
+
+// maxKind bounds the decoder's kind validation; appended kinds must extend
+// it so older journals (whose kinds are a prefix) stay readable forever.
+const maxKind = KindShardMove
 
 //spinvet:pure
 func (k Kind) String() string {
@@ -75,6 +85,8 @@ func (k Kind) String() string {
 		return "raise"
 	case KindSeal:
 		return "seal"
+	case KindShardMove:
+		return "shard-move"
 	}
 	return "kind(?)"
 }
@@ -248,7 +260,7 @@ func DecodeFrame(buf []byte) (Record, int, error) {
 		return rec, 0, ErrTruncated
 	}
 	kind := Kind(buf[0])
-	if kind == 0 || kind > KindSeal {
+	if kind == 0 || kind > maxKind {
 		return rec, 0, fmt.Errorf("%w: %d", ErrBadKind, buf[0])
 	}
 	plen, n := binary.Uvarint(buf[1:])

@@ -81,6 +81,7 @@ type State struct {
 	level     int64
 	levelName string
 	raises    int
+	moves     int
 }
 
 // NewState returns an empty symbolic state.
@@ -211,6 +212,10 @@ func (s *State) Apply(rec Record) error {
 		s.perModule, s.global = rec.A, rec.B
 	case KindRaise:
 		s.raises++
+	case KindShardMove:
+		// An audit marker: the binding population change it explains
+		// arrives as ordinary uninstall/install records on each shard.
+		s.moves++
 	case KindSeal:
 		// seals never reach appliers
 	default:
@@ -256,6 +261,9 @@ func (s *State) Summary() string {
 	fmt.Fprintf(&sb, "quotas: per-module=%d global=%d\n", s.perModule, s.global)
 	fmt.Fprintf(&sb, "degradation level: %d (%s)\n", s.level, s.levelName)
 	fmt.Fprintf(&sb, "sampled raises: %d\n", s.raises)
+	if s.moves > 0 {
+		fmt.Fprintf(&sb, "shard moves: %d\n", s.moves)
+	}
 	return sb.String()
 }
 
@@ -292,3 +300,6 @@ func (s *State) QuarantinedModules() []string {
 
 // Raises returns the count of sampled raise records seen.
 func (s *State) Raises() int { return s.raises }
+
+// Moves returns the count of shard-move audit markers seen.
+func (s *State) Moves() int { return s.moves }

@@ -18,6 +18,7 @@ import (
 	"spin/internal/linker"
 	"spin/internal/rtti"
 	"spin/internal/sched"
+	"spin/internal/shard"
 	"spin/internal/trace"
 	"spin/internal/trap"
 	"spin/internal/vm"
@@ -68,6 +69,15 @@ type Config struct {
 	// raises (see internal/journal). ReplayJournal reconstructs the
 	// dispatcher state from a previous boot's journal.
 	Journal *journal.Journal
+	// Shards, when greater than 1, attaches a sharded routing plane
+	// (internal/shard): shard 0 is the machine's own dispatcher and
+	// shards 1..N-1 are additional dispatchers built with the same
+	// metering, codegen, fault, and admission configuration — each its
+	// own serialization and fault domain. The journal, when configured,
+	// stays on shard 0 only: per-shard journals need per-shard streams,
+	// which callers wire through shard.Config directly. Events defined
+	// through Machine.Router are consistent-hashed across the shards.
+	Shards int
 	// ShareWith, when non-nil, makes this machine share the given
 	// machine's virtual clock and simulator — required for multi-machine
 	// experiments (the Table 2 UDP roundtrip runs two machines on one
@@ -84,7 +94,10 @@ type Machine struct {
 	CPU        *vtime.CPU
 	Sim        *vtime.Simulator
 	Dispatcher *dispatch.Dispatcher
-	Nexus      *linker.Nexus
+	// Router is the sharded routing plane, non-nil when Config.Shards > 1;
+	// its shard 0 is Dispatcher.
+	Router *shard.Router
+	Nexus  *linker.Nexus
 	Sched      *sched.Scheduler
 	Trap       *trap.Trap
 	VM         *vm.VM
@@ -127,10 +140,30 @@ func Boot(cfg Config) (*Machine, error) {
 	if cfg.Admission != nil {
 		dopts = append(dopts, dispatch.WithAdmission(*cfg.Admission))
 	}
+	// Extra shards replicate every dispatcher option except the journal:
+	// one journal stream cannot serve two dispatchers (each seals its own
+	// record sequence), so only shard 0 journals unless the caller builds
+	// the plane through shard.Config with per-shard streams.
+	shardOpts := append([]dispatch.Option(nil), dopts...)
 	if cfg.Journal != nil {
 		dopts = append(dopts, dispatch.WithJournal(cfg.Journal))
 	}
 	m.Dispatcher = dispatch.New(dopts...)
+	if cfg.Shards > 1 {
+		var err error
+		m.Router, err = shard.NewRouter(shard.Config{
+			Shards: cfg.Shards,
+			NewShard: func(id int) *dispatch.Dispatcher {
+				if id == 0 {
+					return m.Dispatcher
+				}
+				return dispatch.New(shardOpts...)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	m.Nexus = linker.NewNexus()
 
 	var err error
@@ -150,6 +183,9 @@ func Boot(cfg Config) (*Machine, error) {
 		Define("Dispatcher", m.Dispatcher).
 		Define("CPU", m.CPU).
 		Define("Machine", m)
+	if m.Router != nil {
+		core = core.Define("Router", m.Router)
+	}
 	trapIface := linker.NewInterface("MachineTrap", trap.Module).
 		Define("Syscall", m.Trap.Syscall).
 		Define("Trap", m.Trap)

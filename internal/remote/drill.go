@@ -297,3 +297,24 @@ func NewBenchRig() (*BenchRig, error) {
 	}
 	return &BenchRig{Local: rig.a.Dispatcher, rig: rig, peer: p}, nil
 }
+
+// Peer returns the warmed peer carrying raises from A to B; the shard
+// router's RemoteShard adapter routes a remote shard's raises through it.
+func (r *BenchRig) Peer() *Peer { return r.peer }
+
+// RemoteDispatcher returns machine B's dispatcher — the control plane of a
+// shard placed behind the wire. Defines and installs go here directly (the
+// simulation's stand-in for the linker loading extensions on B), raises go
+// through the peer.
+func (r *BenchRig) RemoteDispatcher() *dispatch.Dispatcher { return r.rig.b.Dispatcher }
+
+// RemotePrefix returns the receiver's event-name prefix: wire raises carry
+// bare names, machine B namespaces the corresponding events with it.
+func (r *BenchRig) RemotePrefix() string { return "B:" }
+
+// RunFor advances the shared simulation by d, draining in-flight wire
+// traffic.
+func (r *BenchRig) RunFor(d vtime.Duration) { r.rig.runFor(d) }
+
+// Hits reports firings of the drill's B:Remote.Ping intrinsic handler.
+func (r *BenchRig) Hits() int64 { return r.rig.hits.Load() }
